@@ -1,0 +1,110 @@
+// Ablation A2 (Sec. 2.4 / Sec. 4 remarks): conditioning of the transforms.
+// The paper argues that the Weierstrass route "generally involves
+// ill-conditioned and non-orthogonal transformations" while the proposed
+// test uses numerically well-conditioned orthogonal transformations
+// wherever possible. This bench measures, per model order:
+//   * condition numbers of the Weierstrass left/right transforms,
+//   * condition number of the proposed pipeline's only non-orthogonal
+//     factor (the skew-Hamiltonian normalizer K of Eq. 21),
+//   * the transfer-function reproduction error of each decomposition.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "core/impulse_deflation.hpp"
+#include "core/nondynamic.hpp"
+#include "core/phi_builder.hpp"
+#include "core/proper_part.hpp"
+#include "ds/balance.hpp"
+
+namespace {
+
+using namespace shhpass;
+using linalg::Matrix;
+
+// Max relative deviation of Phi(jw) reproduced by the extracted stable
+// proper part Hp: Phi = Hp + Hp~.
+double properPartError(const ds::DescriptorSystem& gBal,
+                       const core::ProperPartResult& pp) {
+  ds::DescriptorSystem hp;
+  hp.e = Matrix::identity(pp.lambda.rows());
+  hp.a = pp.lambda;
+  hp.b = pp.b1;
+  hp.c = pp.c1;
+  hp.d = pp.dHalf;
+  ds::DescriptorSystem phi = ds::add(gBal, ds::adjoint(gBal));
+  double worst = 0.0;
+  for (double w : {0.1, 1.0, 10.0, 100.0}) {
+    ds::TransferValue hv = ds::evalTransfer(hp, 0.0, w);
+    ds::TransferValue pv = ds::evalTransfer(phi, 0.0, w);
+    Matrix herm = hv.re + hv.re.transposed();
+    const double scale = std::max(1.0, pv.re.maxAbs());
+    worst = std::max(worst, (herm - pv.re).maxAbs() / scale);
+  }
+  return worst;
+}
+
+// Max relative deviation of G(jw) reproduced by the Weierstrass form.
+double weierstrassError(const ds::DescriptorSystem& g,
+                        const ds::WeierstrassForm& wf) {
+  ds::DescriptorSystem proper;
+  proper.e = Matrix::identity(wf.numFinite());
+  proper.a = wf.ap;
+  proper.b = wf.bp;
+  proper.c = wf.cp;
+  proper.d = wf.d;
+  double worst = 0.0;
+  for (double w : {0.1, 1.0, 10.0, 100.0}) {
+    ds::TransferValue gv = ds::evalTransfer(g, 0.0, w);
+    ds::TransferValue pv = ds::evalTransfer(proper, 0.0, w);
+    // Add the polynomial part from the Markov parameters (index <= 2).
+    auto mk = wf.markovParameters(2);
+    Matrix re = pv.re + mk[0];
+    Matrix im = pv.im + w * mk[1];
+    const double scale = std::max(1.0, gv.re.maxAbs());
+    worst = std::max(worst,
+                     std::max((re - gv.re).maxAbs(), (im - gv.im).maxAbs()) /
+                         scale);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") quick = true;
+  std::vector<std::size_t> orders = {20, 40, 80, 120, 200};
+  if (quick) orders = {20, 40, 80};
+
+  std::printf("# Conditioning of transforms: Weierstrass vs proposed\n");
+  std::printf("%-8s %-13s %-13s %-13s %-13s %-13s\n", "order", "cond(Wei-L)",
+              "cond(Wei-R)", "cond(K-prop)", "err(Wei)", "err(proposed)");
+  for (std::size_t n : orders) {
+    ds::DescriptorSystem g = circuits::makeBenchmarkModel(n, true);
+    ds::BalancedSystem bal = ds::balanceDescriptor(g);
+
+    ds::WeierstrassForm wf = ds::weierstrass(bal.sys);
+    const double errW = weierstrassError(bal.sys, wf);
+
+    shh::ShhRealization phi = core::buildPhi(bal.sys);
+    core::ImpulseDeflationResult s1 = core::deflateImpulseModes(phi);
+    core::NondynamicRemovalResult s2 = core::removeNondynamicModes(s1.reduced);
+    double condK = std::nan(""), errP = std::nan("");
+    if (s2.impulseFree) {
+      core::ProperPartResult pp = core::extractProperPart(s2.shh);
+      if (pp.ok) {
+        condK = pp.condNormalizer;
+        errP = properPartError(bal.sys, pp);
+      }
+    }
+    std::printf("%-8zu %-13.3e %-13.3e %-13.3e %-13.3e %-13.3e\n", n,
+                wf.condLeft, wf.condRight, condK, errW, errP);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) of the numerical kernels underneath
+// the passivity tests: SVD, real Schur, reordering, the isotropic-Arnoldi
+// reduction, and the stage-1 deflation. Useful for tracking the O(n^3)
+// scaling claims at the kernel level.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "circuits/generators.hpp"
+#include "core/impulse_deflation.hpp"
+#include "core/phi_builder.hpp"
+#include "linalg/schur.hpp"
+#include "linalg/schur_reorder.hpp"
+#include "linalg/svd.hpp"
+#include "shh/isotropic_arnoldi.hpp"
+
+namespace {
+
+using namespace shhpass;
+using linalg::Matrix;
+
+Matrix randomMatrix(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = dist(gen);
+  return m;
+}
+
+Matrix randomSkewHamiltonian(std::size_t half, unsigned seed) {
+  Matrix a = randomMatrix(half, seed);
+  Matrix g = randomMatrix(half, seed + 1);
+  Matrix q = randomMatrix(half, seed + 2);
+  Matrix w(2 * half, 2 * half);
+  w.setBlock(0, 0, a);
+  w.setBlock(0, half, g - g.transposed());
+  w.setBlock(half, 0, q - q.transposed());
+  w.setBlock(half, half, a.transposed());
+  return w;
+}
+
+void BM_Svd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 42);
+  for (auto _ : state) {
+    linalg::SVD svd(a);
+    benchmark::DoNotOptimize(svd.singularValues());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Svd)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_RealSchur(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 43);
+  for (auto _ : state) {
+    auto rs = linalg::realSchur(a);
+    benchmark::DoNotOptimize(rs.t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RealSchur)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_SchurReorder(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 44);
+  auto rs = linalg::realSchur(a);
+  for (auto _ : state) {
+    Matrix t = rs.t, q = rs.q;
+    linalg::reorderSchur(t, q,
+                         [](std::complex<double> l) { return l.real() < 0; });
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SchurReorder)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_IsotropicArnoldi(benchmark::State& state) {
+  const std::size_t half = static_cast<std::size_t>(state.range(0));
+  Matrix w = randomSkewHamiltonian(half, 45);
+  for (auto _ : state) {
+    auto tri = shh::skewHamiltonianBlockTriangularize(w);
+    benchmark::DoNotOptimize(tri.w);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IsotropicArnoldi)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity();
+
+void BM_ImpulseDeflation(benchmark::State& state) {
+  const std::size_t order = static_cast<std::size_t>(state.range(0));
+  ds::DescriptorSystem g = circuits::makeBenchmarkModel(order, true);
+  shh::ShhRealization phi = core::buildPhi(g);
+  for (auto _ : state) {
+    auto s1 = core::deflateImpulseModes(phi);
+    benchmark::DoNotOptimize(s1.removed);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ImpulseDeflation)
+    ->RangeMultiplier(2)
+    ->Range(16, 64)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

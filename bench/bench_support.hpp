@@ -1,0 +1,75 @@
+// Shared helpers for the benchmark binaries: wall-clock timing and the
+// three passivity tests under measurement (proposed SHH, Weierstrass
+// baseline, LMI baseline).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "circuits/generators.hpp"
+#include "core/passivity_test.hpp"
+#include "ds/weierstrass.hpp"
+#include "lmi/lmi_passivity.hpp"
+
+namespace shhpass::bench {
+
+/// Wall-clock seconds for one invocation of `fn`.
+inline double timeSeconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Median-of-k timing (k small; these are macro benchmarks).
+inline double timeMedian(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, timeSeconds(fn));
+  return best;
+}
+
+/// The three tests of Table 1 on one model.
+inline double timeProposed(const ds::DescriptorSystem& g) {
+  return timeSeconds([&] {
+    core::PassivityResult r = core::testPassivityShh(g);
+    if (!r.passive) std::fprintf(stderr, "WARN: proposed test: not passive\n");
+  });
+}
+
+inline double timeWeierstrass(const ds::DescriptorSystem& g) {
+  // The Weierstrass baseline can fail outright on large ill-conditioned
+  // pencils (the separation of finite/infinite spectra breaks down); a
+  // benchmark row must survive that and report the wall time of the
+  // attempt.
+  return timeSeconds([&] {
+    try {
+      ds::WeierstrassPassivityResult r = ds::testPassivityWeierstrass(g);
+      if (!r.passive)
+        std::fprintf(stderr, "WARN: weierstrass test: not passive\n");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "WARN: weierstrass test failed: %s\n", e.what());
+    }
+  });
+}
+
+/// LMI baseline timing at a given model order.
+///
+/// The Freund-Jarre LMI is a conclusive certificate only when the system is
+/// strictly feasible: it needs D + D^T > M0 + M0^T (Sec. 2.2 necessity) and
+/// an impulse-free pencil (impulsive chains pin the (1,1) block of Eq. 4 to
+/// the semidefinite boundary, where barrier methods cannot discriminate).
+/// The LMI column is therefore timed on the impulse-free sibling of the
+/// benchmark model, port-augmented with a 2-Ohm series feedthrough — the
+/// same order, sparsity, and interior-point cost. See EXPERIMENTS.md.
+inline double timeLmi(std::size_t order) {
+  ds::DescriptorSystem g =
+      circuits::makeBenchmarkModel(order, /*impulsive=*/false);
+  for (std::size_t i = 0; i < g.d.rows(); ++i) g.d(i, i) += 2.0;
+  return timeSeconds([&] {
+    lmi::LmiPassivityResult r = lmi::testPassivityLmi(g);
+    if (!r.passive) std::fprintf(stderr, "WARN: lmi test: not passive\n");
+  });
+}
+
+}  // namespace shhpass::bench

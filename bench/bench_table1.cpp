@@ -1,0 +1,49 @@
+// Table 1 of the paper: CPU times (seconds) of the three DS passivity
+// tests on RLC circuit models of increasing order.
+//
+//   Model order | LMI test | Proposed method | Weierstrass decomposition
+//   20, 40, 60, 80, 100, 200, 400
+//
+// The LMI test column reports NIL beyond a size cap, mirroring the paper
+// (there the 2006 solver ran out of physical memory at order 70; here the
+// O(n^5)-O(n^6) interior-point cost exceeds the benchmark's time budget —
+// set SHHPASS_LMI_MAX to raise the cap and measure larger orders).
+//
+// Absolute numbers differ from the paper's 2.8 GHz PC + Matlab 7 setup;
+// the shape to verify is: LMI >> both O(n^3) tests and infeasible early;
+// proposed and Weierstrass comparable, proposed ahead at large order.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_support.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shhpass;
+  std::size_t lmiMax = 40;
+  if (const char* env = std::getenv("SHHPASS_LMI_MAX"))
+    lmiMax = static_cast<std::size_t>(std::atoi(env));
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--quick") quick = true;
+
+  const std::size_t orders[] = {20, 40, 60, 80, 100, 200, 400};
+  std::printf("# Table 1: CPU times (sec) for different passivity tests\n");
+  std::printf("# RLC ladder models with impulsive modes (see DESIGN.md)\n");
+  std::printf("%-12s %-12s %-14s %-14s\n", "order", "LMI", "Proposed",
+              "Weierstrass");
+  for (std::size_t n : orders) {
+    if (quick && n > 100) break;
+    ds::DescriptorSystem g = circuits::makeBenchmarkModel(n, /*impulsive=*/true);
+    const double tProp = bench::timeProposed(g);
+    const double tWei = bench::timeWeierstrass(g);
+    if (n <= lmiMax) {
+      const double tLmi = bench::timeLmi(n);
+      std::printf("%-12zu %-12.4f %-14.4f %-14.4f\n", n, tLmi, tProp, tWei);
+    } else {
+      std::printf("%-12zu %-12s %-14.4f %-14.4f\n", n, "NIL", tProp, tWei);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Diagnosing impulsive (infinite-frequency) structure in descriptor
+// models: mode census, impulse controllability/observability, pencil
+// index, and how each kind of defect shows up in the passivity verdict.
+// Walks through four models:
+//   1. a healthy impulse-free ladder,
+//   2. a passive impulsive ladder (PSD residue at infinity),
+//   3. a mutant with an indefinite M1 (impulsive energy "source"),
+//   4. a mutant with a grade-3 chain (s^2 term, double pole at infinity).
+//
+//   $ ./impulsive_diagnosis
+#include <cstdio>
+
+#include "circuits/generators.hpp"
+#include "core/markov.hpp"
+#include "core/passivity_test.hpp"
+#include "ds/impulse_tests.hpp"
+
+namespace {
+
+using namespace shhpass;
+
+void report(const char* name, const ds::DescriptorSystem& g) {
+  ds::ModeCensus mc = ds::censusModes(g);
+  std::printf("== %s ==\n", name);
+  std::printf("   order %zu: %zu finite, %zu nondynamic, %zu impulsive;"
+              " index %zu\n",
+              mc.order, mc.finite, mc.nondynamic, mc.impulsive,
+              ds::pencilIndex(g));
+  std::printf("   impulse-free %s / i-observable %s / i-controllable %s\n",
+              ds::isImpulseFree(g) ? "yes" : "no ",
+              ds::isImpulseObservable(g) ? "yes" : "no ",
+              ds::isImpulseControllable(g) ? "yes" : "no ");
+  core::M1Extraction m1 = core::extractM1(g);
+  std::printf("   M1: %zu chain(s), symmetric %s, PSD %s\n", m1.chainCount,
+              m1.symmetric ? "yes" : "no ", m1.psd ? "yes" : "no ");
+  core::PassivityResult r = core::testPassivityShh(g);
+  std::printf("   => %s (%s)\n\n", r.passive ? "PASSIVE" : "NOT PASSIVE",
+              core::failureStageName(r.failure).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace shhpass;
+
+  circuits::LadderOptions healthy;
+  healthy.sections = 3;
+  healthy.capAtPort = true;
+  report("impulse-free RLC ladder", circuits::makeRlcLadder(healthy));
+
+  circuits::LadderOptions impulsive;
+  impulsive.sections = 3;
+  impulsive.capAtPort = false;
+  report("impulsive RLC ladder (M1 = L at the port)",
+         circuits::makeRlcLadder(impulsive));
+
+  report("indefinite-M1 mutant (impulsive energy source)",
+         circuits::makeNonPassiveIndefiniteM1());
+
+  report("grade-3 chain mutant (s^2 Markov term)",
+         circuits::makeNonPassiveHigherOrderImpulse());
+  return 0;
+}

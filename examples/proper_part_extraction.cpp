@@ -1,0 +1,74 @@
+// The paper's "sidetrack": the SHH pipeline conveniently decouples the
+// stable proper part of a passive descriptor system along the way. This
+// example extracts it and verifies pointwise that
+//     Phi(jw) = Hp(jw) + Hp(jw)^*
+// where Hp is the extracted regular (nonsingular-E) system — i.e. the
+// infinite-frequency structure has been cleanly split off by orthogonal
+// transformations. The extracted Hp is a drop-in proper model for, e.g.,
+// passivity enforcement or model order reduction (Sec. 4 remarks).
+//
+//   $ ./proper_part_extraction
+#include <cstdio>
+
+#include "circuits/generators.hpp"
+#include "core/impulse_deflation.hpp"
+#include "core/nondynamic.hpp"
+#include "core/phi_builder.hpp"
+#include "core/proper_part.hpp"
+#include "ds/balance.hpp"
+#include "linalg/schur.hpp"
+
+int main() {
+  using namespace shhpass;
+  using linalg::Matrix;
+
+  circuits::LadderOptions opt;
+  opt.sections = 5;
+  opt.capAtPort = false;  // impulsive at the port: M1 = l
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  std::printf("original descriptor order: %zu (singular E)\n", g.order());
+
+  ds::BalancedSystem bal = ds::balanceDescriptor(g);
+  shh::ShhRealization phi = core::buildPhi(bal.sys);
+  core::ImpulseDeflationResult s1 = core::deflateImpulseModes(phi);
+  core::NondynamicRemovalResult s2 = core::removeNondynamicModes(s1.reduced);
+  if (!s2.impulseFree) {
+    std::printf("unexpected: residual impulses\n");
+    return 1;
+  }
+  core::ProperPartResult pp = core::extractProperPart(s2.shh);
+  if (!pp.ok) {
+    std::printf("unexpected: axis modes\n");
+    return 1;
+  }
+
+  std::printf("extracted stable proper part: order %zu (regular E = I)\n",
+              pp.lambda.rows());
+  std::printf("poles of the proper part:\n");
+  for (const auto& l : linalg::eigenvalues(pp.lambda))
+    std::printf("   %12.5e %+12.5ei\n", l.real(), l.imag());
+
+  // Pointwise verification: Phi(jw) = 2 * Herm(Hp(jw)).
+  ds::DescriptorSystem hp;
+  hp.e = Matrix::identity(pp.lambda.rows());
+  hp.a = pp.lambda;
+  hp.b = pp.b1;
+  hp.c = pp.c1;
+  hp.d = pp.dHalf;
+  ds::DescriptorSystem phiRef = ds::add(bal.sys, ds::adjoint(bal.sys));
+  std::printf("\n%-12s %-16s %-16s %-10s\n", "omega", "Phi(jw)",
+              "Hp+Hp* (jw)", "rel.err");
+  double worst = 0.0;
+  for (double w : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    ds::TransferValue hv = ds::evalTransfer(hp, 0.0, w);
+    ds::TransferValue pv = ds::evalTransfer(phiRef, 0.0, w);
+    const double sum = hv.re(0, 0) * 2.0;
+    const double ref = pv.re(0, 0);
+    const double err = std::abs(sum - ref) / std::max(1.0, std::abs(ref));
+    worst = std::max(worst, err);
+    std::printf("%-12.3g %-16.8e %-16.8e %-10.2e\n", w, ref, sum, err);
+  }
+  std::printf("\nworst relative error: %.2e  (%s)\n", worst,
+              worst < 1e-6 ? "OK" : "TOO LARGE");
+  return worst < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Quickstart: stamp a tiny RLC one-port into descriptor form, run the
+// proposed SHH passivity test, and read the verdict with its diagnostics.
+//
+//   $ ./quickstart
+//
+// Circuit: port --L-- node --(C || R)-- ground, i.e. the driving-point
+// impedance Z(s) = s*L + R/(1 + s*R*C). The series inductor at the port
+// makes the stamped descriptor system IMPULSIVE (Z has a pole at infinity)
+// with residue M1 = L, which the test must extract and certify PSD.
+#include <cstdio>
+
+#include "circuits/mna.hpp"
+#include "circuits/netlist.hpp"
+#include "core/passivity_test.hpp"
+#include "ds/impulse_tests.hpp"
+
+int main() {
+  using namespace shhpass;
+
+  const double R = 2.0, L = 0.5, C = 0.25;
+  circuits::Netlist net(2);
+  net.addInductor(1, 2, L);
+  net.addCapacitor(2, 0, C);
+  net.addResistor(2, 0, R);
+  net.addPort(1);
+  ds::DescriptorSystem g = circuits::stampMna(net);
+
+  ds::ModeCensus census = ds::censusModes(g);
+  std::printf("descriptor system: order %zu = %zu finite + %zu nondynamic "
+              "+ %zu impulsive modes\n",
+              census.order, census.finite, census.nondynamic,
+              census.impulsive);
+  std::printf("impulse-free: %s\n", ds::isImpulseFree(g) ? "yes" : "no");
+
+  core::PassivityResult r = core::testPassivityShh(g);
+  std::printf("passive:             %s\n", r.passive ? "YES" : "NO");
+  std::printf("failure stage:       %s\n",
+              core::failureStageName(r.failure).c_str());
+  std::printf("impulsive deflated:  %zu state(s) of Phi\n",
+              r.removedImpulsive);
+  std::printf("nondynamic removed:  %zu state(s) of Phi\n",
+              r.removedNondynamic);
+  std::printf("impulsive chains:    %zu\n", r.impulsiveChains);
+  if (r.m1.rows() > 0)
+    std::printf("M1 (residue at inf): %.6f   (expected L = %.6f)\n",
+                r.m1(0, 0), L);
+  return r.passive ? 0 : 1;
+}

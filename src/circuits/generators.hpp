@@ -1,0 +1,73 @@
+// Parameterized circuit-model generators for the experiments: RLC ladders
+// and meshes of configurable order, with or without impulsive modes, plus
+// non-passive mutants for negative testing.
+#pragma once
+
+#include "circuits/netlist.hpp"
+#include "ds/descriptor.hpp"
+
+namespace shhpass::circuits {
+
+/// Options for the RLC interconnect ladder generator.
+struct LadderOptions {
+  std::size_t sections = 5;    ///< Number of RL-series / C-shunt sections.
+  double r = 1.0;              ///< Series resistance per section (Ohm).
+  double l = 1e-3;             ///< Series inductance per section (H).
+  double c = 1e-6;             ///< Shunt capacitance per section (F).
+  bool twoPort = false;        ///< Port at both ends instead of one.
+  /// Every `impulsiveEvery`-th section replaces its series resistor by an
+  /// inductor, leaving that section's midnode purely inductive. Each such
+  /// node is an impulsive (grade-2 infinite) mode of the stamped DS. 0 =
+  /// no extra impulsive sections.
+  std::size_t impulsiveEvery = 0;
+  /// Shunt capacitor at the port node. Without it the port sees the series
+  /// inductor at infinite frequency, so Z(s) ~ s*l has a pole at infinity:
+  /// the DS is impulsive with M1 = l >= 0. With it the DS is impulse-free
+  /// (index 1, nondynamic modes only).
+  bool capAtPort = false;
+  /// Shunt (leak) resistance to ground at the far end of the ladder. This
+  /// gives the network a DC path so all finite poles are strictly in the
+  /// left half plane (the paper assumes lambda(E, A) in C_- union {inf}).
+  double shuntR = 50.0;
+};
+
+/// Driving-point/transfer impedance ladder: port - (R-L) - node - C|| - ...
+/// The result is passive by construction (physical RLC network).
+ds::DescriptorSystem makeRlcLadder(const LadderOptions& opt);
+
+/// The netlist behind makeRlcLadder (for inspection / reuse).
+Netlist makeRlcLadderNetlist(const LadderOptions& opt);
+
+/// A descriptor system of exact order `order` (state count) built from an
+/// RLC ladder; `impulsive` switches the impulsive-node pattern on. Used by
+/// the Table 1 / Fig. 2 benchmark sweep.
+ds::DescriptorSystem makeBenchmarkModel(std::size_t order, bool impulsive);
+
+/// Random connected RLC network with `nodes` nodes, seeded deterministically.
+/// Each node gets a shunt capacitor unless `sprinkleImpulsive` removes some;
+/// extra R and L branches are sprinkled across random node pairs.
+ds::DescriptorSystem makeRandomRlcNetwork(std::size_t nodes, unsigned seed,
+                                          bool sprinkleImpulsive = false);
+
+/// Non-passive mutant: an RLC ladder whose shunt leak resistor is negated
+/// (an active element). Depending on strength this makes the network
+/// unstable or merely non-positive-real; either way it is not passive.
+ds::DescriptorSystem makeNonPassiveNegativeResistor(std::size_t sections);
+
+/// Non-passive but STABLE mutant: an impulse-free RLC ladder with a small
+/// negative series resistance folded into the port feedthrough (D = -eps I),
+/// so Re Z(j inf) < 0 while all poles stay in the left half plane. This is
+/// caught by the proper-part positive-realness stage.
+ds::DescriptorSystem makeNonPassiveNegativeFeedthrough(std::size_t sections);
+
+/// Non-passive mutant: a descriptor system with an indefinite first Markov
+/// parameter, i.e. M1 has a negative eigenvalue (impulsive energy source).
+/// Built directly in Weierstrass-like coordinates: a 2x2 nilpotent block
+/// with output map chosen so M1 = diag(+1, -1).
+ds::DescriptorSystem makeNonPassiveIndefiniteM1();
+
+/// Non-passive mutant: a system with a nonzero second Markov parameter
+/// (M2 != 0, grade-3 infinite eigenvectors), which Eq. (3) forbids.
+ds::DescriptorSystem makeNonPassiveHigherOrderImpulse();
+
+}  // namespace shhpass::circuits

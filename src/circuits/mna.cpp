@@ -1,0 +1,69 @@
+#include "circuits/mna.hpp"
+
+#include <stdexcept>
+
+namespace shhpass::circuits {
+
+using linalg::Matrix;
+
+ds::DescriptorSystem stampMna(const Netlist& net) {
+  if (net.ports().empty())
+    throw std::invalid_argument("stampMna: netlist has no ports");
+  const std::size_t nv = static_cast<std::size_t>(net.numNodes());
+  const std::size_t nl = net.numInductors();
+  const std::size_t n = nv + nl;
+  const std::size_t m = net.ports().size();
+
+  Matrix cmat(nv, nv), gmat(nv, nv), lmat(nl, nl), al(nv, nl);
+  std::size_t lIdx = 0;
+  for (const auto& comp : net.components()) {
+    // Ground (node 0) rows/columns are dropped; shift indices by one.
+    const int i = comp.n1 - 1;
+    const int j = comp.n2 - 1;
+    switch (comp.kind) {
+      case Component::Kind::Resistor: {
+        const double g = 1.0 / comp.value;
+        if (i >= 0) gmat(i, i) += g;
+        if (j >= 0) gmat(j, j) += g;
+        if (i >= 0 && j >= 0) {
+          gmat(i, j) -= g;
+          gmat(j, i) -= g;
+        }
+        break;
+      }
+      case Component::Kind::Capacitor: {
+        const double cv = comp.value;
+        if (i >= 0) cmat(i, i) += cv;
+        if (j >= 0) cmat(j, j) += cv;
+        if (i >= 0 && j >= 0) {
+          cmat(i, j) -= cv;
+          cmat(j, i) -= cv;
+        }
+        break;
+      }
+      case Component::Kind::Inductor: {
+        lmat(lIdx, lIdx) = comp.value;
+        if (i >= 0) al(i, lIdx) = 1.0;
+        if (j >= 0) al(j, lIdx) = -1.0;
+        ++lIdx;
+        break;
+      }
+    }
+  }
+
+  ds::DescriptorSystem sys;
+  sys.e = Matrix(n, n);
+  sys.e.setBlock(0, 0, cmat);
+  sys.e.setBlock(nv, nv, lmat);
+  sys.a = Matrix(n, n);
+  sys.a.setBlock(0, 0, -1.0 * gmat);
+  sys.a.setBlock(0, nv, -1.0 * al);
+  sys.a.setBlock(nv, 0, al.transposed());
+  sys.b = Matrix(n, m);
+  for (std::size_t p = 0; p < m; ++p) sys.b(net.ports()[p] - 1, p) = 1.0;
+  sys.c = sys.b.transposed();
+  sys.d = Matrix(m, m);
+  return sys;
+}
+
+}  // namespace shhpass::circuits

@@ -1,0 +1,20 @@
+// Modified nodal analysis (MNA) stamping of an RLC netlist into descriptor
+// form (the paper's motivating model source, Sec. 1):
+//   E x' = A x + B u,  y = C x + D u,  x = [node voltages; inductor currents]
+//   E = diag(Cmat, Lmat),  A = [-G  -AL; AL^T  0],  B = [AP; 0],  C = B^T,
+//   D = 0,
+// where u are injected port currents and y the port voltages, so G(s) is the
+// port impedance matrix Z(s). E is singular whenever some node carries no
+// capacitance; nodes touching only inductors/ports produce impulsive modes.
+#pragma once
+
+#include "circuits/netlist.hpp"
+#include "ds/descriptor.hpp"
+
+namespace shhpass::circuits {
+
+/// Stamp the netlist into impedance-form descriptor realization.
+/// Throws std::invalid_argument if the netlist declares no ports.
+ds::DescriptorSystem stampMna(const Netlist& net);
+
+}  // namespace shhpass::circuits

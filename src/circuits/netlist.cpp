@@ -1,0 +1,2 @@
+// Netlist is header-only; this translation unit anchors the module.
+#include "circuits/netlist.hpp"

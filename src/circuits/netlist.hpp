@@ -1,0 +1,81 @@
+// Minimal RLC netlist representation. Node 0 is ground and is eliminated
+// during MNA stamping. Ports are current-driven (current injected into a
+// node, returned through ground), so the stamped descriptor system realizes
+// the impedance matrix Z(s) — positive real for any physical RLC network.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace shhpass::circuits {
+
+/// One two-terminal element.
+struct Component {
+  enum class Kind { Resistor, Inductor, Capacitor };
+  Kind kind;
+  int n1 = 0;     ///< First node (0 = ground).
+  int n2 = 0;     ///< Second node (0 = ground).
+  double value = 0.0;  ///< Ohms / Henries / Farads; must be > 0 for a
+                       ///< passive element (negative values are allowed to
+                       ///< build non-passive mutants for testing).
+};
+
+/// A flat netlist with numbered nodes 1..numNodes (0 is ground).
+class Netlist {
+ public:
+  explicit Netlist(int numNodes) : numNodes_(numNodes) {
+    if (numNodes < 0) throw std::invalid_argument("Netlist: negative nodes");
+  }
+
+  int numNodes() const { return numNodes_; }
+  const std::vector<Component>& components() const { return comps_; }
+  const std::vector<int>& ports() const { return ports_; }
+
+  Netlist& addResistor(int n1, int n2, double ohms) {
+    return addComponent({Component::Kind::Resistor, n1, n2, ohms});
+  }
+  Netlist& addInductor(int n1, int n2, double henries) {
+    return addComponent({Component::Kind::Inductor, n1, n2, henries});
+  }
+  Netlist& addCapacitor(int n1, int n2, double farads) {
+    return addComponent({Component::Kind::Capacitor, n1, n2, farads});
+  }
+
+  /// Declare a current-injection port at `node` (vs ground).
+  Netlist& addPort(int node) {
+    checkNode(node);
+    if (node == 0) throw std::invalid_argument("Netlist: port at ground");
+    ports_.push_back(node);
+    return *this;
+  }
+
+  std::size_t numInductors() const {
+    std::size_t k = 0;
+    for (const auto& c : comps_)
+      if (c.kind == Component::Kind::Inductor) ++k;
+    return k;
+  }
+
+ private:
+  Netlist& addComponent(Component c) {
+    checkNode(c.n1);
+    checkNode(c.n2);
+    if (c.n1 == c.n2)
+      throw std::invalid_argument("Netlist: element shorted to itself");
+    if (c.value == 0.0)
+      throw std::invalid_argument("Netlist: zero-valued element");
+    comps_.push_back(c);
+    return *this;
+  }
+  void checkNode(int n) const {
+    if (n < 0 || n > numNodes_)
+      throw std::invalid_argument("Netlist: node index out of range");
+  }
+
+  int numNodes_;
+  std::vector<Component> comps_;
+  std::vector<int> ports_;
+};
+
+}  // namespace shhpass::circuits

@@ -1,0 +1,54 @@
+#include "control/are.hpp"
+
+#include <stdexcept>
+
+#include "control/hamiltonian.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+
+namespace shhpass::control {
+
+using linalg::Matrix;
+
+AreResult solveCare(const Matrix& a, const Matrix& g, const Matrix& q) {
+  const std::size_t n = a.rows();
+  if (!a.isSquare() || g.rows() != n || q.rows() != n)
+    throw std::invalid_argument("solveCare: shape mismatch");
+  AreResult res;
+  // Hamiltonian H = [A -G; -Q -A^T]; X = X2 X1^{-1} from the stable subspace.
+  Matrix h = makeHamiltonian(a, -1.0 * g, -1.0 * q);
+  StableSubspace ss = stableInvariantSubspace(h);
+  if (!ss.ok) return res;
+  linalg::LU lu(ss.x1);
+  if (lu.isSingular(1e-12)) return res;
+  res.x = lu.solveTransposed(ss.x2.transposed()).transposed();  // X2 X1^{-1}
+  linalg::symmetrize(res.x);
+  res.ok = true;
+  return res;
+}
+
+AreResult solvePositiveRealAre(const Matrix& a, const Matrix& b,
+                               const Matrix& c, const Matrix& d) {
+  const std::size_t n = a.rows();
+  Matrix r = d + d.transposed();
+  linalg::LU rlu(r);
+  if (rlu.isSingular(1e-12))
+    throw std::invalid_argument("solvePositiveRealAre: D + D^T singular");
+  // Rewrite Eq. (5) as a CARE in (A - B R^{-1} C, B R^{-1} B^T, C^T R^{-1} C):
+  //   (A-BR^{-1}C)^T X + X (A-BR^{-1}C) + X BR^{-1}B^T X + C^T R^{-1} C = 0
+  // which is solveCare with G = -B R^{-1} B^T ... sign bookkeeping below.
+  Matrix rinvC = rlu.solve(c);
+  Matrix rinvBt = rlu.solve(b.transposed());
+  Matrix a0 = a - b * rinvC;
+  Matrix g = -1.0 * (b * rinvBt);
+  Matrix q = linalg::atb(c, rinvC);
+  // Expanding Eq. (5): (A-BR^{-1}C)^T X + X (A-BR^{-1}C)
+  //   + X (B R^{-1} B^T) X + C^T R^{-1} C = 0,
+  // i.e. the CARE with G = -B R^{-1} B^T and Q = C^T R^{-1} C.
+  AreResult res = solveCare(a0, g, q);
+  if (!res.ok) return res;
+  (void)n;
+  return res;
+}
+
+}  // namespace shhpass::control

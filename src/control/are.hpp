@@ -1,0 +1,29 @@
+// Algebraic Riccati equation solver via the Hamiltonian stable invariant
+// subspace (Sec. 2.2, Eq. (5) of the paper): the classical route for strict
+// positive-realness checks on regular systems.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::control {
+
+/// Result of an ARE solve.
+struct AreResult {
+  linalg::Matrix x;  ///< Stabilizing solution (symmetric when it exists).
+  bool ok = false;   ///< False if no stabilizing solution exists (e.g. the
+                     ///< Hamiltonian has imaginary-axis eigenvalues).
+};
+
+/// Solve A^T X + X A + (X B - C^T) (D + D^T)^{-1} (B^T X - C) = 0, the
+/// positive-real Riccati equation (Eq. 5). Requires D + D^T nonsingular.
+AreResult solvePositiveRealAre(const linalg::Matrix& a,
+                               const linalg::Matrix& b,
+                               const linalg::Matrix& c,
+                               const linalg::Matrix& d);
+
+/// Solve the standard CARE A^T X + X A - X G X + Q = 0 (G, Q symmetric)
+/// through the Hamiltonian matrix [A -G; -Q -A^T].
+AreResult solveCare(const linalg::Matrix& a, const linalg::Matrix& g,
+                    const linalg::Matrix& q);
+
+}  // namespace shhpass::control

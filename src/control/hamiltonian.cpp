@@ -1,0 +1,83 @@
+#include "control/hamiltonian.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/schur.hpp"
+#include "linalg/schur_reorder.hpp"
+
+namespace shhpass::control {
+
+using linalg::Matrix;
+
+bool isHamiltonian(const Matrix& h, double tol) {
+  if (!h.isSquare() || h.rows() % 2 != 0) return false;
+  Matrix j = Matrix::symplecticJ(h.rows() / 2);
+  Matrix jh = j * h;
+  return jh.isSymmetric(tol * std::max(1.0, jh.maxAbs()));
+}
+
+bool isSkewHamiltonian(const Matrix& w, double tol) {
+  if (!w.isSquare() || w.rows() % 2 != 0) return false;
+  Matrix j = Matrix::symplecticJ(w.rows() / 2);
+  Matrix jw = j * w;
+  return jw.isSkewSymmetric(tol * std::max(1.0, jw.maxAbs()));
+}
+
+Matrix makeHamiltonian(const Matrix& a, const Matrix& r, const Matrix& q) {
+  const std::size_t n = a.rows();
+  if (!a.isSquare() || r.rows() != n || r.cols() != n || q.rows() != n ||
+      q.cols() != n)
+    throw std::invalid_argument("makeHamiltonian: shape mismatch");
+  Matrix h(2 * n, 2 * n);
+  h.setBlock(0, 0, a);
+  h.setBlock(0, n, r);
+  h.setBlock(n, 0, q);
+  h.setBlock(n, n, -1.0 * a.transposed());
+  return h;
+}
+
+StableSubspace stableInvariantSubspace(const Matrix& h, double imagTol) {
+  StableSubspace out;
+  if (!h.isSquare() || h.rows() % 2 != 0)
+    throw std::invalid_argument("stableInvariantSubspace: need even size");
+  const std::size_t np = h.rows() / 2;
+  if (np == 0) {
+    out.ok = true;
+    return out;
+  }
+  linalg::RealSchurResult rs = linalg::realSchur(h);
+  // A Hamiltonian spectrum splits evenly unless eigenvalues sit on the axis.
+  const double floor_ =
+      1e3 * std::numeric_limits<double>::epsilon() * h.normFrobenius();
+  for (const auto& l : rs.eigenvalues) {
+    const double cut = std::max(imagTol * std::max(1.0, std::abs(l)), floor_);
+    if (std::abs(l.real()) <= cut) return out;  // ok = false
+  }
+  const std::size_t k = linalg::reorderSchur(
+      rs.t, rs.q, [](std::complex<double> l) { return l.real() < 0.0; });
+  if (k != np) return out;  // uneven split: not a clean Hamiltonian spectrum
+  out.x1 = rs.q.block(0, 0, np, np);
+  out.x2 = rs.q.block(np, 0, np, np);
+  out.lambda = rs.t.block(0, 0, np, np);
+  out.ok = true;
+  return out;
+}
+
+bool hasImaginaryAxisEigenvalue(const Matrix& h, double tol) {
+  // Per-eigenvalue relative threshold with an eps-level absolute floor tied
+  // to the matrix norm (the size of backward error in computed eigenvalues).
+  // A norm-proportional *tolerance* would misclassify well-damped
+  // eigenvalues of badly scaled systems as imaginary.
+  const double floor_ =
+      1e3 * std::numeric_limits<double>::epsilon() * h.normFrobenius();
+  for (const auto& l : linalg::eigenvalues(h)) {
+    const double cut = std::max(tol * std::max(1.0, std::abs(l)), floor_);
+    if (std::abs(l.real()) <= cut) return true;
+  }
+  return false;
+}
+
+}  // namespace shhpass::control

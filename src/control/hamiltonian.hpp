@@ -1,0 +1,43 @@
+// Hamiltonian / skew-Hamiltonian structure predicates and the stable
+// invariant subspace computation used in Eq. (22) of the paper.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::control {
+
+/// True iff (J H)^T = J H, i.e. H = [A R; Q -A^T] with R, Q symmetric.
+bool isHamiltonian(const linalg::Matrix& h, double tol = 1e-10);
+
+/// True iff (J W)^T = -J W, i.e. W = [A R; Q A^T] with R, Q skew-symmetric.
+bool isSkewHamiltonian(const linalg::Matrix& w, double tol = 1e-10);
+
+/// Build the 2n x 2n Hamiltonian matrix [a r; q -a^T] (r, q symmetric n x n).
+linalg::Matrix makeHamiltonian(const linalg::Matrix& a, const linalg::Matrix& r,
+                               const linalg::Matrix& q);
+
+/// Result of a stable invariant subspace computation on a Hamiltonian
+/// matrix H (size 2np): H [X1; X2] = [X1; X2] Lambda with spec(Lambda) in
+/// the open left half plane.
+struct StableSubspace {
+  linalg::Matrix x1;      ///< Top block, np x np.
+  linalg::Matrix x2;      ///< Bottom block, np x np.
+  linalg::Matrix lambda;  ///< Quasi-triangular np x np stable block.
+  bool ok = false;        ///< False if eigenvalues lie on/near the imaginary
+                          ///< axis and the spectrum cannot be split in half.
+};
+
+/// Compute the stable invariant subspace of a Hamiltonian matrix via ordered
+/// real Schur. `imagTol` is the relative margin within which an eigenvalue is
+/// treated as lying on the imaginary axis (making the split impossible).
+StableSubspace stableInvariantSubspace(const linalg::Matrix& h,
+                                       double imagTol = 1e-8);
+
+/// True iff the matrix has an eigenvalue within `tol * max(1, |lambda|)` of
+/// the imaginary axis (used as the core positive-realness certificate).
+bool hasImaginaryAxisEigenvalue(const linalg::Matrix& h, double tol = 1e-8);
+
+}  // namespace shhpass::control

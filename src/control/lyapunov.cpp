@@ -1,0 +1,20 @@
+#include "control/lyapunov.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "control/sylvester.hpp"
+
+namespace shhpass::control {
+
+using linalg::Matrix;
+
+Matrix solveLyapunov(const Matrix& a, const Matrix& q) {
+  if (!a.isSquare() || !q.isSquare() || a.rows() != q.rows())
+    throw std::invalid_argument("solveLyapunov: shape mismatch");
+  Matrix y = solveSylvester(a, a.transposed(), -1.0 * q);
+  if (q.isSymmetric(1e-12 * std::max(1.0, q.maxAbs()))) linalg::symmetrize(y);
+  return y;
+}
+
+}  // namespace shhpass::control

@@ -1,0 +1,16 @@
+// Continuous-time Lyapunov equation A Y + Y A^T + Q = 0, used by the
+// proper-part extraction step (Eq. 23 of the paper) to block-diagonalize
+// the Hamiltonian matrix A_phi4.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::control {
+
+/// Solve A Y + Y A^T + Q = 0 for Y. Requires spec(A) and spec(-A^T)
+/// disjoint (e.g. A Hurwitz). If Q is symmetric the solution is symmetric;
+/// this implementation symmetrizes the result when Q is symmetric to purge
+/// round-off.
+linalg::Matrix solveLyapunov(const linalg::Matrix& a, const linalg::Matrix& q);
+
+}  // namespace shhpass::control

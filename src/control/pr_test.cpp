@@ -1,0 +1,136 @@
+#include "control/pr_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "control/hamiltonian.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/schur.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/symmetric_eig.hpp"
+
+namespace shhpass::control {
+
+using linalg::Matrix;
+
+double popovMinEigenvalue(const Matrix& a, const Matrix& b, const Matrix& c,
+                          const Matrix& d, double omega) {
+  const std::size_t n = a.rows();
+  const std::size_t m = d.rows();
+  Matrix gre = d, gim(m, m);
+  if (n > 0) {
+    // Solve (jwI - A)(xr + j xi) = B via the doubled real system
+    // [-A  -wI; wI  -A] [xr; xi] = [B; 0].
+    Matrix sys(2 * n, 2 * n);
+    sys.setBlock(0, 0, -1.0 * a);
+    sys.setBlock(n, n, -1.0 * a);
+    for (std::size_t i = 0; i < n; ++i) {
+      sys(i, n + i) = -omega;
+      sys(n + i, i) = omega;
+    }
+    Matrix rhs(2 * n, b.cols());
+    rhs.setBlock(0, 0, b);
+    Matrix x = linalg::solve(sys, rhs);
+    Matrix xr = x.block(0, 0, n, b.cols());
+    Matrix xi = x.block(n, 0, n, b.cols());
+    gre += c * xr;
+    gim = c * xi;
+  }
+  // H = G + G^* is Hermitian: real part S = Gre + Gre^T (symmetric),
+  // imaginary part K = Gim - Gim^T (skew). Embed as [[S,-K],[K,S]]; its
+  // (doubled) spectrum equals that of H.
+  Matrix s = gre + gre.transposed();
+  Matrix k = gim - gim.transposed();
+  Matrix emb(2 * m, 2 * m);
+  emb.setBlock(0, 0, s);
+  emb.setBlock(m, m, s);
+  emb.setBlock(0, m, -1.0 * k);
+  emb.setBlock(m, 0, k);
+  linalg::SymmetricEig eig(emb, /*wantVectors=*/false);
+  return eig.eigenvalues().front();
+}
+
+PrTestResult testPositiveRealProper(const Matrix& a, const Matrix& b,
+                                    const Matrix& c, const Matrix& d,
+                                    double imagTol) {
+  if (!d.isSquare())
+    throw std::invalid_argument("testPositiveRealProper: D must be square");
+  const std::size_t n = a.rows();
+  PrTestResult res;
+
+  // Stability prerequisite.
+  res.stable = true;
+  if (n > 0) {
+    for (const auto& l : linalg::eigenvalues(a))
+      if (l.real() >= -1e-12 * std::max(1.0, a.normFrobenius())) {
+        res.stable = false;
+        break;
+      }
+  }
+  if (!res.stable) {
+    res.positiveReal = false;
+    return res;
+  }
+
+  Matrix r = d + d.transposed();
+  // G(j inf) + G(j inf)^* = R must be PSD regardless of the certificate path.
+  if (!linalg::isPositiveSemidefinite(r)) {
+    res.positiveReal = false;
+    return res;
+  }
+  if (n == 0) {
+    res.positiveReal = true;  // static system, R >= 0 settles it
+    return res;
+  }
+
+  // Decide singularity of R relative to the overall transfer-function
+  // scale, not to R itself: a feedthrough of 1e-27 in a system whose
+  // G(0) is O(1) is zero for all practical purposes, and inverting it
+  // would poison the Hamiltonian certificate.
+  Matrix g0 = d - c * linalg::solve(a, b);  // G(0) (A is Hurwitz here)
+  const double gScale = std::max({1e-300, g0.maxAbs(), r.maxAbs()});
+  linalg::SVD rsvd(r);
+  const double sminR =
+      rsvd.singularValues().empty() ? 0.0 : rsvd.singularValues().back();
+  const bool rInvertible = sminR > 1e-10 * gScale;
+  linalg::LU rlu(r);
+  if (rInvertible) {
+    // Hamiltonian certificate: M has an imaginary-axis eigenvalue iff
+    // G(jw) + G(jw)^* is singular at some w. With no such eigenvalue, the
+    // minimum eigenvalue never changes sign; R > 0 anchors the sign at
+    // w = infinity.
+    Matrix rinvBt = rlu.solve(b.transposed());   // R^{-1} B^T
+    Matrix rinvC = rlu.solve(c);                 // R^{-1} C
+    Matrix a11 = a - b * rinvC;
+    Matrix a12 = -1.0 * (b * rinvBt);
+    Matrix a21 = linalg::atb(c, rinvC);
+    Matrix m = makeHamiltonian(a11, a12, a21);
+    res.usedHamiltonian = true;
+    res.positiveReal = !hasImaginaryAxisEigenvalue(m, imagTol);
+    return res;
+  }
+
+  // R singular: fall back to a dense logarithmic frequency sweep.
+  res.usedSampling = true;
+  const double scale = std::max(1.0, a.normFrobenius());
+  double worst = popovMinEigenvalue(a, b, c, d, 0.0);
+  double worstW = 0.0;
+  for (int k = -60; k <= 60; ++k) {
+    const double w = scale * std::pow(10.0, k / 10.0);
+    const double lmin = popovMinEigenvalue(a, b, c, d, w);
+    if (lmin < worst) {
+      worst = lmin;
+      worstW = w;
+    }
+  }
+  res.worstEigenvalue = worst;
+  res.worstFrequency = worstW;
+  const double tol = 1e-8 * std::max(1.0, d.maxAbs() + c.maxAbs());
+  res.positiveReal = worst >= -tol;
+  return res;
+}
+
+}  // namespace shhpass::control

@@ -1,0 +1,40 @@
+// Positive-realness test for *proper, regular* state-space systems
+// G(s) = D + C (sI - A)^{-1} B — the standard Hamiltonian-based check the
+// paper applies to the extracted proper part (Sec. 2.2, refs [9, 10]).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::control {
+
+/// Outcome of a regular-system positive-realness test.
+struct PrTestResult {
+  bool positiveReal = false;
+  bool stable = false;          ///< A Hurwitz (prerequisite).
+  bool usedHamiltonian = false; ///< Certificate path: Hamiltonian spectrum.
+  bool usedSampling = false;    ///< Fallback path: frequency sweep.
+  double worstEigenvalue = 0.0; ///< min over omega of lambda_min(G+G^*)
+                                ///< observed (sampling path only).
+  double worstFrequency = 0.0;  ///< argmin frequency (sampling path only).
+};
+
+/// Test positive realness of the proper system (A, B, C, D).
+///
+/// When R = D + D^T is (numerically) nonsingular, the associated Hamiltonian
+/// matrix having no purely imaginary eigenvalues certifies lambda_min(G(jw) +
+/// G(jw)^*) never crosses zero; combined with positivity at one probe
+/// frequency this decides positive realness. When R is singular the test
+/// falls back to a dense logarithmic frequency sweep (documented heuristic).
+PrTestResult testPositiveRealProper(const linalg::Matrix& a,
+                                    const linalg::Matrix& b,
+                                    const linalg::Matrix& c,
+                                    const linalg::Matrix& d,
+                                    double imagTol = 1e-8);
+
+/// lambda_min of the Hermitian matrix G(jw) + G(jw)^* for the proper system
+/// (A, B, C, D) at real frequency w. Exposed for diagnostics and tests.
+double popovMinEigenvalue(const linalg::Matrix& a, const linalg::Matrix& b,
+                          const linalg::Matrix& c, const linalg::Matrix& d,
+                          double omega);
+
+}  // namespace shhpass::control

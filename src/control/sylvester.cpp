@@ -1,0 +1,105 @@
+#include "control/sylvester.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/schur.hpp"
+
+namespace shhpass::control {
+
+using linalg::Matrix;
+
+namespace {
+
+// Diagonal block partition of a quasi-triangular matrix.
+std::vector<std::pair<std::size_t, std::size_t>> blocks(const Matrix& t) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  std::size_t i = 0;
+  while (i < t.rows()) {
+    const std::size_t sz = (i + 1 < t.rows() && t(i + 1, i) != 0.0) ? 2 : 1;
+    out.emplace_back(i, sz);
+    i += sz;
+  }
+  return out;
+}
+
+// Solve the small system A X + X B = C with p, q <= 2 via Kronecker LU.
+Matrix smallBlockSolve(const Matrix& a, const Matrix& b, const Matrix& c) {
+  const std::size_t p = a.rows(), q = b.rows();
+  Matrix k(p * q, p * q);
+  for (std::size_t j = 0; j < q; ++j)
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::size_t row = j * p + i;
+      for (std::size_t l = 0; l < p; ++l) k(row, j * p + l) += a(i, l);
+      for (std::size_t l = 0; l < q; ++l) k(row, l * p + i) += b(l, j);
+    }
+  Matrix rhs(p * q, 1);
+  for (std::size_t j = 0; j < q; ++j)
+    for (std::size_t i = 0; i < p; ++i) rhs(j * p + i, 0) = c(i, j);
+  linalg::LU lu(k);
+  if (lu.isSingular(1e-13))
+    throw std::runtime_error(
+        "solveSylvester: spectra of A and -B intersect; equation singular");
+  Matrix xv = lu.solve(rhs);
+  Matrix x(p, q);
+  for (std::size_t j = 0; j < q; ++j)
+    for (std::size_t i = 0; i < p; ++i) x(i, j) = xv(j * p + i, 0);
+  return x;
+}
+
+}  // namespace
+
+Matrix solveSylvesterQuasiTriangular(const Matrix& s, const Matrix& t,
+                                     const Matrix& f) {
+  const std::size_t n = s.rows(), m = t.rows();
+  if (f.rows() != n || f.cols() != m)
+    throw std::invalid_argument("solveSylvesterQuasiTriangular: shape");
+  Matrix y(n, m);
+  const auto sBlocks = blocks(s);
+  const auto tBlocks = blocks(t);
+
+  // Process column blocks of Y left -> right (T upper triangular), and
+  // within each, row blocks bottom -> top (S upper triangular).
+  for (const auto& [kc, qc] : tBlocks) {
+    // rhs_k = F(:,k) - Y(:,previous) * T(previous, k).
+    Matrix rhsCol = f.block(0, kc, n, qc);
+    if (kc > 0) {
+      Matrix yPrev = y.block(0, 0, n, kc);
+      Matrix tCol = t.block(0, kc, kc, qc);
+      rhsCol -= yPrev * tCol;
+    }
+    Matrix tkk = t.block(kc, kc, qc, qc);
+    for (auto it = sBlocks.rbegin(); it != sBlocks.rend(); ++it) {
+      const auto [ir, pr] = *it;
+      Matrix r = rhsCol.block(ir, 0, pr, qc);
+      // Subtract S(i, below) * Y(below, k).
+      const std::size_t below = ir + pr;
+      if (below < n) {
+        Matrix sRow = s.block(ir, below, pr, n - below);
+        Matrix yBelow = y.block(below, kc, n - below, qc);
+        r -= sRow * yBelow;
+      }
+      Matrix sii = s.block(ir, ir, pr, pr);
+      Matrix yik = smallBlockSolve(sii, tkk, r);
+      y.setBlock(ir, kc, yik);
+    }
+  }
+  return y;
+}
+
+Matrix solveSylvester(const Matrix& a, const Matrix& b, const Matrix& c) {
+  if (!a.isSquare() || !b.isSquare() || c.rows() != a.rows() ||
+      c.cols() != b.rows())
+    throw std::invalid_argument("solveSylvester: shape mismatch");
+  if (a.rows() == 0 || b.rows() == 0) return Matrix(a.rows(), b.rows());
+  // A = U S U^T, B = V T V^T; then S Y + Y T = U^T C V with X = U Y V^T.
+  linalg::RealSchurResult sa = linalg::realSchur(a);
+  linalg::RealSchurResult sb = linalg::realSchur(b);
+  Matrix f = linalg::multiply(linalg::atb(sa.q, c), false, sb.q, false);
+  Matrix y = solveSylvesterQuasiTriangular(sa.t, sb.t, f);
+  return sa.q * linalg::abt(y, sb.q);
+}
+
+}  // namespace shhpass::control

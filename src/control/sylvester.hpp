@@ -1,0 +1,21 @@
+// Sylvester equation solver A X + X B = C via Bartels-Stewart
+// (real Schur of both coefficients + back-substitution).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::control {
+
+/// Solve A X + X B = C for X (A n x n, B m x m, C n x m).
+/// Requires spec(A) and spec(-B) disjoint; throws std::runtime_error if the
+/// equation is (numerically) singular.
+linalg::Matrix solveSylvester(const linalg::Matrix& a, const linalg::Matrix& b,
+                              const linalg::Matrix& c);
+
+/// Solve S Y + Y T = F where S and T are already quasi-upper-triangular
+/// (real Schur forms). Exposed for reuse by the Lyapunov solver and tests.
+linalg::Matrix solveSylvesterQuasiTriangular(const linalg::Matrix& s,
+                                             const linalg::Matrix& t,
+                                             const linalg::Matrix& f);
+
+}  // namespace shhpass::control

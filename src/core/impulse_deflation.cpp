@@ -1,0 +1,64 @@
+#include "core/impulse_deflation.hpp"
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/svd.hpp"
+#include "shh/symplectic.hpp"
+
+namespace shhpass::core {
+
+using linalg::Matrix;
+
+Matrix impulseUnobservableSubspace(const shh::ShhRealization& phi,
+                                   double rankTol) {
+  // V_o = { v in Ker E : A v in Im E, C v = 0 }.
+  linalg::SVD esvd(phi.e);
+  Matrix kerE = esvd.nullspace(rankTol);
+  if (kerE.cols() == 0) return Matrix(phi.order(), 0);
+  // Component of A * KerE outside Im E: (I - R R^T) A KerE, R = range(E).
+  Matrix range = esvd.range(rankTol);
+  Matrix ak = phi.a * kerE;
+  Matrix proj = ak - range * linalg::atb(range, ak);
+  Matrix stacked = linalg::vcat(proj, phi.c * kerE);
+  Matrix coeff = linalg::SVD(stacked).nullspace(rankTol);
+  if (coeff.cols() == 0) return Matrix(phi.order(), 0);
+  return kerE * coeff;  // orthonormal: kerE orthonormal, coeff orthonormal
+}
+
+ImpulseDeflationResult deflateImpulseModes(const shh::ShhRealization& phi,
+                                           double rankTol) {
+  ImpulseDeflationResult out;
+  out.impulseUnobservable = impulseUnobservableSubspace(phi, rankTol);
+
+  // The deflated right subspace is span([V_o, J A V_o]): discarding V_o
+  // alone would leave a coupling through the rows J V_o. Because
+  // A v in Im E for v in V_o and E^T J = J E, the cross block
+  // (J V_o)^T A V_o vanishes, which makes the truncation *exactly*
+  // transfer-preserving (the discarded states satisfy x = 0 identically
+  // or are unobservable). The dual left subspace is J * (right subspace),
+  // so the left keep-basis can again be taken as -J V.
+  Matrix rBad = out.impulseUnobservable;
+  if (rBad.cols() > 0) {
+    Matrix partners = shh::applyJ(phi.a * out.impulseUnobservable);
+    rBad = linalg::orthonormalRange(linalg::hcat(rBad, partners), 1e-10);
+  }
+  out.removed = rBad.cols();
+
+  // Right basis: orthogonal complement of the deflated subspace. Left
+  // basis: W = -J V, automatically orthogonal to the uncontrollable family.
+  Matrix v = linalg::orthonormalComplement(rBad);
+  out.vKeep = v;
+  Matrix w = -1.0 * shh::applyJ(v);
+
+  out.reduced.e = linalg::multiply(linalg::atb(w, phi.e), false, v, false);
+  out.reduced.a = linalg::multiply(linalg::atb(w, phi.a), false, v, false);
+  out.reduced.c = phi.c * v;
+  out.reduced.d = phi.d;
+  // Scrub the structural symmetry (W^T E V = V^T J E V is skew because
+  // J E is skew; likewise A1 is symmetric because J A is symmetric).
+  linalg::skewSymmetrize(out.reduced.e);
+  linalg::symmetrize(out.reduced.a);
+  return out;
+}
+
+}  // namespace shhpass::core

@@ -1,0 +1,126 @@
+#include "core/margin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "control/pr_test.hpp"
+#include "core/impulse_deflation.hpp"
+#include "core/markov.hpp"
+#include "core/nondynamic.hpp"
+#include "core/phi_builder.hpp"
+#include "core/proper_part.hpp"
+#include "ds/balance.hpp"
+
+namespace shhpass::core {
+
+using linalg::Matrix;
+
+namespace {
+
+// Is Hp + delta*I positive real? (Hamiltonian certificate through the
+// existing proper-part test; stability of lambda is known.)
+bool shiftedPr(const ProperPartResult& pp, double delta, double imagTol) {
+  Matrix d = pp.dHalf;
+  for (std::size_t i = 0; i < d.rows(); ++i) d(i, i) += 0.5 * delta;
+  control::PrTestResult pr = control::testPositiveRealProper(
+      pp.lambda, pp.b1, pp.c1, d, imagTol);
+  return pr.positiveReal;
+}
+
+}  // namespace
+
+PassivityMargin passivityMargin(const ds::DescriptorSystem& g, double tol) {
+  PassivityMargin out;
+  g.validate();
+  if (!g.isSquareSystem() || !ds::isRegular(g)) {
+    out.structuralDefect = g.isSquareSystem() ? FailureStage::SingularPencil
+                                              : FailureStage::NotSquare;
+    return out;
+  }
+  ds::BalancedSystem bal = ds::balanceDescriptor(g);
+  if (!ds::hasStableFiniteModes(bal.sys)) {
+    out.structuralDefect = FailureStage::UnstableFiniteModes;
+    return out;
+  }
+
+  // Structural (impulsive) defects are not repairable by D-shifts.
+  shh::ShhRealization phi = buildPhi(bal.sys);
+  ImpulseDeflationResult s1 = deflateImpulseModes(phi);
+  NondynamicRemovalResult s2 = removeNondynamicModes(s1.reduced);
+  if (!s2.impulseFree) {
+    out.structuralDefect = FailureStage::ResidualImpulses;
+    return out;
+  }
+  if (s1.removed > 0 && hasHigherOrderImpulses(bal.sys)) {
+    out.structuralDefect = FailureStage::HigherOrderImpulse;
+    return out;
+  }
+  M1Extraction m1 = extractM1(bal.sys);
+  if (!m1.symmetric || !m1.psd) {
+    out.structuralDefect = FailureStage::M1NotPsd;
+    return out;
+  }
+  ProperPartResult pp = extractProperPart(s2.shh);
+  if (!pp.ok) {
+    out.structuralDefect = FailureStage::LosslessAxisModes;
+    return out;
+  }
+
+  // Bisect delta such that Hp + (delta/2) I turns positive real exactly at
+  // delta = -2*margin. Bracket first.
+  const double scale =
+      1.0 + pp.dHalf.maxAbs() + pp.c1.maxAbs() * pp.b1.maxAbs();
+  double lo, hi;  // invariant: PR(hi) true, PR(lo) false
+  if (shiftedPr(pp, 0.0, 1e-8)) {
+    hi = 0.0;
+    lo = -scale;
+    while (shiftedPr(pp, lo, 1e-8)) {
+      hi = lo;
+      lo *= 4.0;
+      if (lo < -1e12 * scale) {
+        // Margin effectively unbounded (e.g. zero transfer function).
+        out.defined = true;
+        out.margin = -0.5 * lo;
+        return out;
+      }
+    }
+  } else {
+    lo = 0.0;
+    hi = scale;
+    while (!shiftedPr(pp, hi, 1e-8)) {
+      lo = hi;
+      hi *= 4.0;
+      if (hi > 1e12 * scale) {
+        out.structuralDefect = FailureStage::ProperPartNotPr;
+        return out;  // cannot repair (should not happen for stable Hp)
+      }
+    }
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (shiftedPr(pp, mid, 1e-8))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  out.defined = true;
+  out.margin = -0.5 * hi;  // delta* = -2 * margin
+  return out;
+}
+
+ds::DescriptorSystem enforcePassivity(const ds::DescriptorSystem& g,
+                                      double headroom) {
+  PassivityMargin pm = passivityMargin(g);
+  if (!pm.defined)
+    throw std::invalid_argument(
+        "enforcePassivity: structural defect (" +
+        failureStageName(pm.structuralDefect) +
+        ") cannot be repaired by a feedthrough shift");
+  if (pm.margin >= 0.0) return g;
+  ds::DescriptorSystem fixed = g;
+  const double shift = -pm.margin + headroom;
+  for (std::size_t i = 0; i < fixed.d.rows(); ++i) fixed.d(i, i) += shift;
+  return fixed;
+}
+
+}  // namespace shhpass::core

@@ -1,0 +1,45 @@
+// Extension (Sec. 4 remarks of the paper): passivity margin and the hook
+// for passivity *enforcement* on top of the SHH framework.
+//
+// The frequency-domain violation of a stable DS is
+//     v = min over w of lambda_min( G(jw) + G(jw)^* ),
+// and the margin is v/2: the largest uniform series resistance that could
+// be removed from every port while staying passive (or, if negative, the
+// smallest that must be added to repair it). Because D-shifts do not touch
+// the impulsive structure, the margin is computed on the extracted stable
+// proper part Hp by bisection over the Hamiltonian imaginary-axis
+// certificate — O(n^3 log(1/tol)), no frequency sweep.
+#pragma once
+
+#include "core/passivity_test.hpp"
+#include "ds/descriptor.hpp"
+
+namespace shhpass::core {
+
+/// Result of a passivity-margin computation.
+struct PassivityMargin {
+  bool defined = false;   ///< False if the margin concept does not apply:
+                          ///< unstable, singular pencil, or an impulsive
+                          ///< defect (indefinite M1 / higher-order chains)
+                          ///< that no feedthrough shift can repair.
+  double margin = 0.0;    ///< min_w lambda_min(G + G^*)/2. Positive: the
+                          ///< system is passive with that much headroom;
+                          ///< negative: add -margin * I to D to enforce
+                          ///< passivity.
+  FailureStage structuralDefect = FailureStage::None;  ///< Why undefined.
+};
+
+/// Compute the passivity margin of a descriptor system. `tol` is the
+/// absolute bisection tolerance on the margin value.
+PassivityMargin passivityMargin(const ds::DescriptorSystem& g,
+                                double tol = 1e-6);
+
+/// Passivity enforcement by feedthrough augmentation: returns a copy of g
+/// with D increased by (margin deficit + headroom) * I when the system has
+/// a repairable (proper-part) violation; returns the input unchanged when
+/// already passive. Throws std::invalid_argument when the defect is
+/// impulsive/structural and cannot be repaired this way.
+ds::DescriptorSystem enforcePassivity(const ds::DescriptorSystem& g,
+                                      double headroom = 1e-9);
+
+}  // namespace shhpass::core

@@ -1,0 +1,87 @@
+#include "core/nondynamic.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/svd.hpp"
+#include "shh/symplectic.hpp"
+
+namespace shhpass::core {
+
+using linalg::Matrix;
+
+NondynamicRemovalResult removeNondynamicModes(
+    const shh::SkewSymRealization& s1, double rankTol) {
+  NondynamicRemovalResult out;
+  const std::size_t n = s1.order();
+
+  // U = [R K]: columns of R span Im(E1), columns of K span Ker(E1). For a
+  // skew-symmetric E1 these are orthogonal complements, so U is orthogonal
+  // and U^T E1 U = diag(E11, 0) with E11 skew nonsingular (rank of a skew
+  // matrix is even).
+  linalg::SVD esvd(s1.e);
+  const std::size_t r = esvd.rank(rankTol);
+  Matrix rBasis = esvd.range(rankTol);
+  // For skew-symmetric E1, Ker(E1) = Ker(E1^T), so the left nullspace from
+  // the same U factor is an exactly orthonormal completion of the range.
+  Matrix kBasis = esvd.leftNullspace(rankTol);
+
+  Matrix e11 = linalg::multiply(linalg::atb(rBasis, s1.e), false, rBasis,
+                                false);
+  linalg::skewSymmetrize(e11);
+  Matrix a11 = linalg::multiply(linalg::atb(rBasis, s1.a), false, rBasis,
+                                false);
+  Matrix a12 = linalg::multiply(linalg::atb(rBasis, s1.a), false, kBasis,
+                                false);
+  Matrix a22 = linalg::multiply(linalg::atb(kBasis, s1.a), false, kBasis,
+                                false);
+  linalg::symmetrize(a11);
+  linalg::symmetrize(a22);
+  Matrix c1 = s1.c * rBasis;
+  Matrix c2 = s1.c * kBasis;
+  out.removed = n - r;
+
+  // Impulse-freeness at this stage == A22 nonsingular (Sec. 2.5 item 5,
+  // specialized to the already-deflated pencil). Empty A22 is trivially
+  // nonsingular.
+  if (out.removed > 0) {
+    linalg::SVD asvd(a22);
+    if (asvd.rank(rankTol) < out.removed) {
+      out.impulseFree = false;
+      return out;
+    }
+  }
+  out.impulseFree = true;
+
+  // Schur-complement strong equivalence (Eq. 19):
+  //   A2 = A11 - A12 A22^{-1} A12^T   (symmetric)
+  //   C2' = C1 - C2 A22^{-1} A12^T
+  //   D2 = D + C2 A22^{-1} C2^T       (input map is -C^T)
+  Matrix a2 = a11, c2p = c1, d2 = s1.d;
+  if (out.removed > 0) {
+    linalg::LU lu(a22);
+    Matrix a22InvA21 = lu.solve(a12.transposed());  // A22^{-1} A12^T
+    Matrix a22InvC2t = lu.solve(c2.transposed());   // A22^{-1} C2^T
+    a2 = a11 - a12 * a22InvA21;
+    c2p = c1 - c2 * a22InvA21;
+    d2 = s1.d + c2 * a22InvC2t;
+    linalg::symmetrize(a2);
+    linalg::symmetrize(d2);
+  }
+
+  // Stage 3 (Eq. 20): left-multiply the pencil by -J to restore the SHH
+  // structure. E3 = -J E11 is skew-Hamiltonian because J E3 = E11 is skew;
+  // A3 = -J A2 is Hamiltonian because J A3 = A2 is symmetric; and the input
+  // map -C^T becomes -J(-C^T) = J C3^T, the structured B of ShhRealization.
+  if (r % 2 != 0)
+    throw std::logic_error("removeNondynamicModes: odd rank of skew E1");
+  Matrix j = Matrix::symplecticJ(r / 2);
+  out.shh.e = -1.0 * (j * e11);
+  out.shh.a = -1.0 * (j * a2);
+  out.shh.c = c2p;
+  out.shh.d = d2;
+  return out;
+}
+
+}  // namespace shhpass::core

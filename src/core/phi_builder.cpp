@@ -1,0 +1,26 @@
+#include "core/phi_builder.hpp"
+
+#include <stdexcept>
+
+namespace shhpass::core {
+
+using linalg::Matrix;
+
+shh::ShhRealization buildPhi(const ds::DescriptorSystem& g) {
+  g.validate();
+  if (!g.isSquareSystem())
+    throw std::invalid_argument("buildPhi: system must be square");
+  const std::size_t n = g.order();
+  shh::ShhRealization phi;
+  phi.e = Matrix(2 * n, 2 * n);
+  phi.e.setBlock(0, 0, g.e);
+  phi.e.setBlock(n, n, g.e.transposed());
+  phi.a = Matrix(2 * n, 2 * n);
+  phi.a.setBlock(0, 0, g.a);
+  phi.a.setBlock(n, n, -1.0 * g.a.transposed());
+  phi.c = linalg::hcat(g.c, g.b.transposed());
+  phi.d = g.d + g.d.transposed();
+  return phi;
+}
+
+}  // namespace shhpass::core

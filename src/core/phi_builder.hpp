@@ -1,0 +1,16 @@
+// Stage 0 of the proposed test (Eq. 10): realize Phi(s) = G(s) + G~(s) as a
+// skew-Hamiltonian/Hamiltonian pencil
+//   E_phi = diag(E, E^T),  A_phi = diag(A, -A^T),
+//   C_phi = [C  B^T],      B_phi = J C_phi^T,   D_phi = D + D^T.
+#pragma once
+
+#include "ds/descriptor.hpp"
+#include "shh/shh_pencil.hpp"
+
+namespace shhpass::core {
+
+/// Build the SHH realization of Phi = G + G~. Requires a square system;
+/// throws std::invalid_argument otherwise.
+shh::ShhRealization buildPhi(const ds::DescriptorSystem& g);
+
+}  // namespace shhpass::core

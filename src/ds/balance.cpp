@@ -1,0 +1,63 @@
+#include "ds/balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shhpass::ds {
+
+using linalg::Matrix;
+
+BalancedSystem balanceDescriptor(const DescriptorSystem& g, int sweeps) {
+  g.validate();
+  BalancedSystem out;
+  out.sys = g;
+  const std::size_t n = g.order();
+  if (n == 0) return out;
+
+  // Frequency scaling: make |E| comparable to |A|.
+  const double en = out.sys.e.normFrobenius();
+  const double an = out.sys.a.normFrobenius();
+  if (en > 0.0 && an > 0.0) {
+    out.freqScale = an / en;
+    out.sys.e *= out.freqScale;
+  }
+
+  // Row/column max-norm equilibration over the stacked pencil [E; A].
+  // Row scalings multiply B; column scalings multiply C. Scale factors are
+  // snapped to powers of two so the scaling itself is exact.
+  Matrix& e = out.sys.e;
+  Matrix& a = out.sys.a;
+  Matrix& b = out.sys.b;
+  Matrix& c = out.sys.c;
+  for (int pass = 0; pass < sweeps; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double rmax = 0.0;
+      for (std::size_t j = 0; j < n; ++j)
+        rmax = std::max({rmax, std::abs(e(i, j)), std::abs(a(i, j))});
+      if (rmax <= 0.0) continue;
+      const double f = std::exp2(-std::round(std::log2(rmax)));
+      if (f == 1.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        e(i, j) *= f;
+        a(i, j) *= f;
+      }
+      for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) *= f;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      double cmax = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        cmax = std::max({cmax, std::abs(e(i, j)), std::abs(a(i, j))});
+      if (cmax <= 0.0) continue;
+      const double f = std::exp2(-std::round(std::log2(cmax)));
+      if (f == 1.0) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        e(i, j) *= f;
+        a(i, j) *= f;
+      }
+      for (std::size_t i = 0; i < c.rows(); ++i) c(i, j) *= f;
+    }
+  }
+  return out;
+}
+
+}  // namespace shhpass::ds

@@ -1,0 +1,29 @@
+// Pencil balancing for descriptor systems: frequency scaling plus row/column
+// equilibration. Both are exact restricted-system-equivalence operations
+// (the transfer function is reproduced exactly up to the frequency
+// reparameterization s -> s/freqScale), but they shrink the dynamic range
+// of (E, A) by orders of magnitude for physical-unit models (Farads vs
+// Henries vs Ohms), which is essential for the numerical health of the
+// structured SHH pipeline.
+#pragma once
+
+#include "ds/descriptor.hpp"
+
+namespace shhpass::ds {
+
+/// A balanced copy of a descriptor system.
+struct BalancedSystem {
+  DescriptorSystem sys;    ///< Balanced realization.
+  double freqScale = 1.0;  ///< tau with E_bal = tau * (scaled E): the
+                           ///< balanced system is G_bal(s) = G(s * tau),
+                           ///< so Markov parameter M1 of the original is
+                           ///< tau * M1_bal.
+};
+
+/// Balance (E, A, B, C): first scale E by tau = |A|_F / |E|_F so both
+/// pencil coefficients have comparable norms, then run a few sweeps of
+/// row/column max-norm equilibration on the stacked pencil, carrying the
+/// row scalings into B and the column scalings into C. D is untouched.
+BalancedSystem balanceDescriptor(const DescriptorSystem& g, int sweeps = 4);
+
+}  // namespace shhpass::ds

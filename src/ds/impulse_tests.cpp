@@ -1,0 +1,109 @@
+#include "ds/impulse_tests.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/qz.hpp"
+#include "linalg/svd.hpp"
+
+namespace shhpass::ds {
+
+using linalg::Matrix;
+
+ModeCensus censusModes(const DescriptorSystem& sys, double rankTol) {
+  sys.validate();
+  ModeCensus mc;
+  mc.order = sys.order();
+  mc.rankE = linalg::SVD(sys.e).rank(rankTol);
+  linalg::GeneralizedEigenvalues ge =
+      linalg::generalizedEigenvalues(sys.e, sys.a);
+  mc.finite = ge.finite.size();
+  mc.nondynamic = mc.order - mc.rankE;
+  mc.impulsive = mc.rankE - mc.finite;
+  return mc;
+}
+
+bool isImpulseFree(const DescriptorSystem& sys, double rankTol) {
+  SvdCoordinates sc = toSvdCoordinates(sys, rankTol);
+  const std::size_t k = sys.order() - sc.rankE;
+  if (k == 0) return true;  // E nonsingular ("A22 vanishes" = empty block)
+  // A22 must be nonsingular for the system to be impulse-free.
+  return linalg::SVD(sc.a22()).rank(rankTol) == k;
+}
+
+bool isImpulseObservable(const DescriptorSystem& sys, double rankTol) {
+  SvdCoordinates sc = toSvdCoordinates(sys, rankTol);
+  const std::size_t k = sys.order() - sc.rankE;
+  if (k == 0) return true;
+  Matrix stack = linalg::vcat(sc.a22(), sc.c2());
+  return linalg::SVD(stack).rank(rankTol) == k;  // full column rank
+}
+
+bool isImpulseControllable(const DescriptorSystem& sys, double rankTol) {
+  SvdCoordinates sc = toSvdCoordinates(sys, rankTol);
+  const std::size_t k = sys.order() - sc.rankE;
+  if (k == 0) return true;
+  Matrix stack = linalg::hcat(sc.a22(), sc.b2());
+  return linalg::SVD(stack).rank(rankTol) == k;  // full row rank
+}
+
+bool hasGradeThreeChains(const DescriptorSystem& sys, double rankTol) {
+  // A grade-3 chain exists iff some grade-2 starter v1 (v1 in Ker E with
+  // A v1 in Im E) admits v2 with E v2 = A v1 and A v2 in Im E. The general
+  // solution is v2 = E^+ A v1 + K alpha (K = Ker E), so extendability
+  // reduces to P A E^+ A v1 in Im(P A K) with P = I - R R^T, R = range(E).
+  sys.validate();
+  const Matrix& e = sys.e;
+  const Matrix& a = sys.a;
+  linalg::SVD esvd(e);
+  Matrix k = esvd.nullspace(rankTol);
+  if (k.cols() == 0) return false;  // index 0
+  Matrix range = esvd.range(rankTol);
+  auto projOut = [&](const Matrix& m) {
+    return m - range * linalg::atb(range, m);
+  };
+  // Grade-2 starters.
+  Matrix ak = a * k;
+  Matrix outside = projOut(ak);
+  Matrix coeff = linalg::SVD(outside).nullspace(rankTol);
+  if (coeff.cols() == 0) return false;  // index <= 1
+  Matrix v2 = k * coeff;
+  Matrix t = projOut(a * (esvd.pseudoInverse(rankTol) * (a * v2)));
+  Matrix s = projOut(ak);
+  Matrix qs = linalg::orthonormalRange(s, 1e-10);
+  Matrix t2 = t;
+  if (qs.cols() > 0) t2 = t - qs * linalg::atb(qs, t);
+  const double scale = std::max(t2.maxAbs(), 1e-300);
+  const double tnorm = std::max(1.0, a.maxAbs());
+  if (scale <= 1e-10 * tnorm) return true;  // every chain extends
+  return linalg::SVD(t2).nullspace(1e-8 * scale).cols() > 0;
+}
+
+std::size_t pencilIndex(const DescriptorSystem& sys, double rankTol) {
+  sys.validate();
+  const std::size_t n = sys.order();
+  if (n == 0) return 0;
+  const std::size_t r = linalg::SVD(sys.e).rank(rankTol);
+  if (r == n) return 0;
+  if (isImpulseFree(sys, rankTol)) return 1;
+  // General case: nilpotency degree of the infinite structure equals the
+  // first k at which rank(M^k) stabilizes, M = (A - sigma E)^{-1} E.
+  linalg::GeneralizedEigenvalues ge =
+      linalg::generalizedEigenvalues(sys.e, sys.a);
+  Matrix shifted = sys.a - ge.shiftUsed * sys.e;
+  Matrix m = linalg::LU(shifted).solve(sys.e);
+  std::size_t prevRank = n;
+  Matrix power = m;
+  for (std::size_t k = 1; k <= n; ++k) {
+    const std::size_t rk = linalg::SVD(power).rank(1e-10 * power.maxAbs());
+    if (rk == prevRank) return k - 1;
+    prevRank = rk;
+    power = power * m;
+  }
+  return n;
+}
+
+}  // namespace shhpass::ds

@@ -1,0 +1,94 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace shhpass::linalg {
+
+void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
+          bool transB, double beta, Matrix& c) {
+  const std::size_t m = transA ? a.cols() : a.rows();
+  const std::size_t k = transA ? a.rows() : a.cols();
+  const std::size_t kb = transB ? b.cols() : b.rows();
+  const std::size_t n = transB ? b.rows() : b.cols();
+  if (k != kb) throw std::invalid_argument("gemm: inner dimension mismatch");
+  if (c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("gemm: output shape mismatch");
+
+  if (beta != 1.0) c *= beta;
+  auto A = [&](std::size_t i, std::size_t p) {
+    return transA ? a(p, i) : a(i, p);
+  };
+  auto B = [&](std::size_t p, std::size_t j) {
+    return transB ? b(j, p) : b(p, j);
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double v = alpha * A(i, p);
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) c(i, j) += v * B(p, j);
+    }
+  }
+}
+
+Matrix multiply(const Matrix& a, bool transA, const Matrix& b, bool transB) {
+  const std::size_t m = transA ? a.cols() : a.rows();
+  const std::size_t n = transB ? b.rows() : b.cols();
+  Matrix c(m, n);
+  gemm(1.0, a, transA, b, transB, 0.0, c);
+  return c;
+}
+
+Matrix atb(const Matrix& a, const Matrix& b) {
+  return multiply(a, true, b, false);
+}
+
+Matrix abt(const Matrix& a, const Matrix& b) {
+  return multiply(a, false, b, true);
+}
+
+double colDot(const Matrix& a, std::size_t ja, const Matrix& b,
+              std::size_t jb) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("colDot: row mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) s += a(i, ja) * b(i, jb);
+  return s;
+}
+
+double colNorm(const Matrix& a, std::size_t j) {
+  // Two-pass scaled norm to avoid overflow/underflow.
+  double scale = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    scale = std::max(scale, std::abs(a(i, j)));
+  if (scale == 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double v = a(i, j) / scale;
+    s += v * v;
+  }
+  return scale * std::sqrt(s);
+}
+
+void symmetrize(Matrix& a) {
+  if (!a.isSquare()) throw std::invalid_argument("symmetrize: not square");
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+}
+
+void skewSymmetrize(Matrix& a) {
+  if (!a.isSquare()) throw std::invalid_argument("skewSymmetrize: not square");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    a(i, i) = 0.0;
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double v = 0.5 * (a(i, j) - a(j, i));
+      a(i, j) = v;
+      a(j, i) = -v;
+    }
+  }
+}
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,38 @@
+// BLAS-level helper kernels on shhpass::linalg::Matrix.
+//
+// These avoid forming explicit transposes in hot paths and give the
+// decomposition code a compact vocabulary.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// C = alpha * op(A) * op(B) + beta * C, where op is identity or transpose.
+/// C must already have the correct shape.
+void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
+          bool transB, double beta, Matrix& c);
+
+/// Returns op(A) * op(B).
+Matrix multiply(const Matrix& a, bool transA, const Matrix& b, bool transB);
+
+/// Returns A^T * B without forming A^T.
+Matrix atb(const Matrix& a, const Matrix& b);
+
+/// Returns A * B^T without forming B^T.
+Matrix abt(const Matrix& a, const Matrix& b);
+
+/// Dot product of columns ja of A and jb of B (rows must match).
+double colDot(const Matrix& a, std::size_t ja, const Matrix& b,
+              std::size_t jb);
+
+/// Euclidean norm of column j of A computed with overflow guarding.
+double colNorm(const Matrix& a, std::size_t j);
+
+/// Symmetrize in place: A <- (A + A^T)/2 (square only).
+void symmetrize(Matrix& a);
+
+/// Skew-symmetrize in place: A <- (A - A^T)/2 (square only).
+void skewSymmetrize(Matrix& a);
+
+}  // namespace shhpass::linalg

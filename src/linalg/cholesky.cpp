@@ -1,0 +1,85 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/symmetric_eig.hpp"
+
+namespace shhpass::linalg {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (!a.isSquare()) throw std::invalid_argument("Cholesky: not square");
+  const std::size_t n = a.rows();
+  ok_ = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    if (d <= 0.0) {
+      ok_ = false;
+      return;
+    }
+    l_(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  if (!ok_) throw std::runtime_error("Cholesky::solve: matrix was not SPD");
+  const std::size_t n = l_.rows();
+  if (b.rows() != n)
+    throw std::invalid_argument("Cholesky::solve: shape mismatch");
+  Matrix x = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        x(i, j) -= l_(i, k) * x(k, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) x(i, j) /= l_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        x(ii, j) -= l_(k, ii) * x(k, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) x(ii, j) /= l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::lowerSolve(const Matrix& b) const {
+  if (!ok_) throw std::runtime_error("Cholesky::lowerSolve: not SPD");
+  const std::size_t n = l_.rows();
+  if (b.rows() != n)
+    throw std::invalid_argument("Cholesky::lowerSolve: shape mismatch");
+  Matrix x = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < i; ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        x(i, j) -= l_(i, k) * x(k, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) x(i, j) /= l_(i, i);
+  }
+  return x;
+}
+
+bool isPositiveSemidefinite(const Matrix& a, double tol) {
+  if (!a.isSquare())
+    throw std::invalid_argument("isPositiveSemidefinite: not square");
+  if (a.rows() == 0) return true;
+  const double scale = std::max(1.0, a.maxAbs());
+  const double shift = tol * scale;
+  // Shifted Cholesky is a fast sufficient test.
+  Matrix shifted = a;
+  for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += shift;
+  if (Cholesky(shifted).success()) {
+    // Confirm with the exact smallest eigenvalue only when the fast probe
+    // was marginal; otherwise accept.
+    SymmetricEig eig(a, /*wantVectors=*/false);
+    return eig.eigenvalues().front() >= -shift;
+  }
+  SymmetricEig eig(a, /*wantVectors=*/false);
+  return eig.eigenvalues().front() >= -shift;
+}
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,37 @@
+// Cholesky factorization of symmetric positive-definite matrices, plus a
+// semidefiniteness probe used by the passivity checks (M1 >= 0 tests).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// A = L L^T for symmetric positive definite A.
+class Cholesky {
+ public:
+  /// Attempt the factorization; success() reports whether A was SPD.
+  explicit Cholesky(const Matrix& a);
+
+  bool success() const { return ok_; }
+
+  /// Lower-triangular factor (valid only when success()).
+  const Matrix& factor() const { return l_; }
+
+  /// Solve A X = B via two triangular solves.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solve L X = B (forward substitution with the lower factor only).
+  /// Useful for forming symmetric congruences L^{-1} M L^{-T}.
+  Matrix lowerSolve(const Matrix& b) const;
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+/// True iff the symmetric matrix A is positive semidefinite up to `tol`:
+/// all eigenvalues >= -tol * max(1, ||A||_max). Implemented via a shifted
+/// Cholesky probe with bisection fallback through the symmetric eigensolver.
+bool isPositiveSemidefinite(const Matrix& a, double tol = 1e-9);
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,73 @@
+#include "linalg/hessenberg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace shhpass::linalg {
+
+HessenbergResult hessenberg(const Matrix& a) {
+  if (!a.isSquare()) throw std::invalid_argument("hessenberg: not square");
+  const int n = static_cast<int>(a.rows());
+  HessenbergResult res{a, Matrix::identity(a.rows())};
+  if (n < 3) return res;
+  Matrix& h = res.h;
+  std::vector<double> ort(n, 0.0);
+
+  const int low = 0, high = n - 1;
+  for (int m = low + 1; m <= high - 1; ++m) {
+    // Scale column m-1 below row m.
+    double scale = 0.0;
+    for (int i = m; i <= high; ++i) scale += std::abs(h(i, m - 1));
+    if (scale == 0.0) continue;
+
+    double hsum = 0.0;
+    for (int i = high; i >= m; --i) {
+      ort[i] = h(i, m - 1) / scale;
+      hsum += ort[i] * ort[i];
+    }
+    double g = std::sqrt(hsum);
+    if (ort[m] > 0) g = -g;
+    hsum -= ort[m] * g;
+    ort[m] -= g;
+
+    // Apply Householder similarity transformation H = (I - u u^T / h) H ...
+    for (int j = m; j < n; ++j) {
+      double f = 0.0;
+      for (int i = high; i >= m; --i) f += ort[i] * h(i, j);
+      f /= hsum;
+      for (int i = m; i <= high; ++i) h(i, j) -= f * ort[i];
+    }
+    // ... (I - u u^T / h) from the right.
+    for (int i = 0; i <= high; ++i) {
+      double f = 0.0;
+      for (int j = high; j >= m; --j) f += ort[j] * h(i, j);
+      f /= hsum;
+      for (int j = m; j <= high; ++j) h(i, j) -= f * ort[j];
+    }
+    ort[m] *= scale;
+    h(m, m - 1) = scale * g;
+  }
+
+  // Accumulate transformations (ortran): requires the reflector vectors
+  // still stored in the subdiagonal part of h plus ort[].
+  Matrix& q = res.q;
+  for (int m = high - 1; m >= low + 1; --m) {
+    if (h(m, m - 1) != 0.0) {
+      for (int i = m + 1; i <= high; ++i) ort[i] = h(i, m - 1);
+      for (int j = m; j <= high; ++j) {
+        double g = 0.0;
+        for (int i = m; i <= high; ++i) g += ort[i] * q(i, j);
+        // Double division avoids possible underflow (EISPACK comment).
+        g = (g / ort[m]) / h(m, m - 1);
+        for (int i = m; i <= high; ++i) q(i, j) += g * ort[i];
+      }
+    }
+  }
+  // Zero out the sub-Hessenberg entries now that Q is accumulated.
+  for (int i = 2; i < n; ++i)
+    for (int j = 0; j < i - 1; ++j) h(i, j) = 0.0;
+  return res;
+}
+
+}  // namespace shhpass::linalg

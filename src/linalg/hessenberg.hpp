@@ -1,0 +1,18 @@
+// Orthogonal reduction to upper Hessenberg form: A = Q H Q^T.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// Result of a Hessenberg reduction.
+struct HessenbergResult {
+  Matrix h;  ///< Upper Hessenberg (zero below the first subdiagonal).
+  Matrix q;  ///< Orthogonal accumulation, A = q * h * q^T.
+};
+
+/// Reduce a square matrix to upper Hessenberg form with Householder
+/// reflectors (EISPACK `orthes`/`ortran` lineage).
+HessenbergResult hessenberg(const Matrix& a);
+
+}  // namespace shhpass::linalg

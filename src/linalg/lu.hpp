@@ -1,0 +1,47 @@
+// LU factorization with partial pivoting and dense linear solves.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// PA = LU factorization with partial (row) pivoting.
+class LU {
+ public:
+  /// Factor a square matrix. Singular (to working precision) matrices are
+  /// detected lazily: `isSingular()` reports a zero pivot; `solve` throws.
+  explicit LU(const Matrix& a);
+
+  /// True if a pivot was exactly zero or below `tol * maxAbs`.
+  bool isSingular(double tol = 0.0) const;
+
+  /// Solve A X = B (B may have multiple right-hand sides).
+  Matrix solve(const Matrix& b) const;
+
+  /// Solve A^T X = B.
+  Matrix solveTransposed(const Matrix& b) const;
+
+  /// det(A) via product of pivots and permutation sign.
+  double determinant() const;
+
+  /// A^{-1} (throws if singular).
+  Matrix inverse() const;
+
+  /// Reciprocal condition estimate in the 1-norm (cheap Hager-style bound).
+  double rcond(double anorm1) const;
+
+ private:
+  Matrix lu_;                    // packed L (unit lower) and U
+  std::vector<std::size_t> p_;   // row permutation
+  int permSign_ = 1;
+  double minPivot_ = 0.0;
+  double maxPivot_ = 0.0;
+};
+
+/// Convenience: solve A X = B with a fresh LU; throws on singular A.
+Matrix solve(const Matrix& a, const Matrix& b);
+
+/// Convenience: A^{-1}; throws on singular A.
+Matrix inverse(const Matrix& a);
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,57 @@
+// Householder QR factorization (optionally column-pivoted) and helpers for
+// building orthonormal bases, used pervasively by the deflation steps of the
+// SHH passivity pipeline.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// A P = Q R with Householder reflectors; P is identity unless pivoting is
+/// requested. Works for any m x n shape.
+class QR {
+ public:
+  /// Factor `a`. With `columnPivoting`, columns are greedily permuted by
+  /// remaining norm, which makes the diagonal of R a rank-revealing sequence.
+  explicit QR(const Matrix& a, bool columnPivoting = false);
+
+  /// Thin orthogonal factor, m x min(m,n).
+  Matrix thinQ() const;
+  /// Full orthogonal factor, m x m.
+  Matrix fullQ() const;
+  /// Upper-trapezoidal R, min(m,n) x n (in permuted column order if pivoted).
+  Matrix r() const;
+  /// Column permutation p such that A(:, p[j]) is column j of the factored
+  /// matrix; identity when pivoting was off.
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+
+  /// Numerical rank from the pivoted R diagonal: number of |r_ii| above
+  /// tol * |r_00| (requires columnPivoting; throws otherwise).
+  std::size_t rank(double tol) const;
+
+  /// Least-squares solve min ||A x - b||_2 for full-column-rank A.
+  Matrix solve(const Matrix& b) const;
+
+  /// Apply Q^T to a matrix without forming Q (m-row input).
+  Matrix applyQt(const Matrix& b) const;
+  /// Apply Q to a matrix without forming Q (m-row input).
+  Matrix applyQ(const Matrix& b) const;
+
+ private:
+  Matrix qr_;                   // reflectors below diagonal, R at/above
+  std::vector<double> tau_;     // reflector scalars
+  std::vector<std::size_t> perm_;
+  bool pivoted_;
+};
+
+/// Orthonormal basis for the range (column space) of A, determined to
+/// relative tolerance `tol` via column-pivoted QR. Returns m x rank.
+Matrix orthonormalRange(const Matrix& a, double tol = 1e-12);
+
+/// Orthonormal completion: given m x k V with orthonormal columns, returns
+/// m x (m-k) W such that [V W] is orthogonal.
+Matrix orthonormalComplement(const Matrix& v);
+
+}  // namespace shhpass::linalg

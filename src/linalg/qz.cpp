@@ -1,0 +1,76 @@
+#include "linalg/qz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/schur.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+// Deterministic trial shifts, scaled by the pencil magnitude. A regular
+// pencil has det(A - sE) != 0 for all but finitely many s, so some trial
+// succeeds; failure on all of them flags a (near-)singular pencil.
+std::vector<double> trialShifts(const Matrix& e, const Matrix& a) {
+  const double scale =
+      std::max(1e-300, a.normFrobenius() / std::max(1.0, e.normFrobenius()));
+  return {0.0,          scale,        -scale,       0.5 * scale,
+          -0.5 * scale, 2.718 * scale, -3.141 * scale, 7.389 * scale};
+}
+
+}  // namespace
+
+GeneralizedEigenvalues generalizedEigenvalues(const Matrix& e, const Matrix& a,
+                                              double infTol) {
+  if (!e.isSquare() || !a.isSquare() || e.rows() != a.rows())
+    throw std::invalid_argument("generalizedEigenvalues: shape mismatch");
+  const std::size_t n = e.rows();
+  GeneralizedEigenvalues out;
+  if (n == 0) return out;
+
+  for (double sigma : trialShifts(e, a)) {
+    Matrix shifted = a - sigma * e;
+    LU lu(shifted);
+    // Demand a comfortably nonsingular shift, not a barely invertible one.
+    if (lu.isSingular(1e-10)) continue;
+    Matrix m = lu.solve(e);
+    std::vector<std::complex<double>> mu = eigenvalues(m);
+    double muMax = 0.0;
+    for (const auto& v : mu) muMax = std::max(muMax, std::abs(v));
+    const double cut = infTol * std::max(muMax, 1e-300);
+    out.shiftUsed = sigma;
+    for (const auto& v : mu) {
+      if (std::abs(v) <= cut) {
+        ++out.infiniteCount;
+      } else {
+        out.finite.push_back(sigma + 1.0 / v);
+      }
+    }
+    // Real pencil: force conjugate symmetry lost to round-off.
+    for (auto& lam : out.finite)
+      if (std::abs(lam.imag()) <
+          1e-10 * std::max(1.0, std::abs(lam.real())))
+        lam = {lam.real(), 0.0};
+    return out;
+  }
+  throw std::runtime_error(
+      "generalizedEigenvalues: pencil is singular (no regular shift found)");
+}
+
+bool isRegularPencil(const Matrix& e, const Matrix& a) {
+  if (!e.isSquare() || !a.isSquare() || e.rows() != a.rows()) return false;
+  if (e.rows() == 0) return true;
+  for (double sigma : trialShifts(e, a)) {
+    LU lu(a - sigma * e);
+    if (!lu.isSingular(1e-10)) return true;
+  }
+  return false;
+}
+
+std::size_t finiteModeCount(const Matrix& e, const Matrix& a) {
+  return generalizedEigenvalues(e, a).finite.size();
+}
+
+}  // namespace shhpass::linalg

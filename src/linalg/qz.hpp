@@ -1,0 +1,44 @@
+// Generalized eigenvalues of a matrix pencil (E, A): the values lambda
+// (possibly infinite) with det(A - lambda E) = 0.
+//
+// Implementation note: computed by shift-and-invert onto an ordinary real
+// Schur problem, M = (A - sigma E)^{-1} E with a pencil-adapted shift sigma,
+// mapping eigenvalues mu of M to lambda = sigma + 1/mu (mu = 0 <-> lambda =
+// infinity). This is an O(n^3) substitution for a full QZ iteration (see
+// DESIGN.md); the shift is retried over a deterministic candidate list so a
+// singular (A - sigma E) is never used.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// Result of a generalized eigenvalue computation on a regular pencil.
+struct GeneralizedEigenvalues {
+  /// Finite eigenvalues of (E, A): lambda with det(A - lambda E) = 0.
+  std::vector<std::complex<double>> finite;
+  /// Algebraic count of infinite eigenvalues (nondynamic + impulsive).
+  std::size_t infiniteCount = 0;
+  /// Shift sigma actually used (diagnostic).
+  double shiftUsed = 0.0;
+};
+
+/// Compute the generalized eigenvalues of the pencil (E, A), i.e. the roots
+/// of det(A - lambda E) including multiplicity, with infinite eigenvalues
+/// counted separately. `infTol` is the relative threshold below which an
+/// eigenvalue mu of the shifted-inverse operator is declared zero (lambda =
+/// infinity). Throws std::runtime_error if the pencil appears singular
+/// (det(A - s E) == 0 for all trial shifts).
+GeneralizedEigenvalues generalizedEigenvalues(const Matrix& e, const Matrix& a,
+                                              double infTol = 1e-6);
+
+/// True if the pencil (E, A) is regular: det(A - s E) != 0 for some s.
+bool isRegularPencil(const Matrix& e, const Matrix& a);
+
+/// deg det(-s E + A): the number of finite dynamic modes (q in the paper).
+std::size_t finiteModeCount(const Matrix& e, const Matrix& a);
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,288 @@
+#include "linalg/schur.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/hessenberg.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+// Francis double-shift QR on an upper Hessenberg matrix with accumulation
+// (EISPACK hqr2 / JAMA lineage, eigenvector back-substitution omitted).
+void hqr2(Matrix& h, Matrix& v, std::vector<double>& d,
+          std::vector<double>& e) {
+  const int nn = static_cast<int>(h.rows());
+  int n = nn - 1;
+  const int low = 0, high = nn - 1;
+  const double eps = std::numeric_limits<double>::epsilon();
+  double exshift = 0.0;
+  double p = 0, q = 0, r = 0, s = 0, z = 0, t, w, x, y;
+
+  double norm = 0.0;
+  for (int i = 0; i < nn; ++i)
+    for (int j = std::max(i - 1, 0); j < nn; ++j) norm += std::abs(h(i, j));
+
+  int iter = 0;
+  long totalIter = 0;
+  const long maxTotalIter = 60L * nn + 200;
+  while (n >= low) {
+    if (++totalIter > maxTotalIter)
+      throw std::runtime_error("realSchur: QR iteration failed to converge");
+
+    // Look for a single small subdiagonal element.
+    int l = n;
+    while (l > low) {
+      s = std::abs(h(l - 1, l - 1)) + std::abs(h(l, l));
+      if (s == 0.0) s = norm;
+      if (std::abs(h(l, l - 1)) < eps * s) break;
+      --l;
+    }
+
+    if (l == n) {
+      // One root found.
+      h(n, n) += exshift;
+      d[n] = h(n, n);
+      e[n] = 0.0;
+      if (l > low) h(n, n - 1) = 0.0;
+      --n;
+      iter = 0;
+    } else if (l == n - 1) {
+      // Two roots found.
+      w = h(n, n - 1) * h(n - 1, n);
+      p = (h(n - 1, n - 1) - h(n, n)) / 2.0;
+      q = p * p + w;
+      z = std::sqrt(std::abs(q));
+      h(n, n) += exshift;
+      h(n - 1, n - 1) += exshift;
+      x = h(n, n);
+
+      if (q >= 0) {
+        // Real pair: rotate the 2x2 block onto the diagonal.
+        z = (p >= 0) ? p + z : p - z;
+        d[n - 1] = x + z;
+        d[n] = d[n - 1];
+        if (z != 0.0) d[n] = x - w / z;
+        e[n - 1] = 0.0;
+        e[n] = 0.0;
+        x = h(n, n - 1);
+        s = std::abs(x) + std::abs(z);
+        p = x / s;
+        q = z / s;
+        r = std::sqrt(p * p + q * q);
+        p /= r;
+        q /= r;
+        for (int j = n - 1; j < nn; ++j) {
+          z = h(n - 1, j);
+          h(n - 1, j) = q * z + p * h(n, j);
+          h(n, j) = q * h(n, j) - p * z;
+        }
+        for (int i = 0; i <= n; ++i) {
+          z = h(i, n - 1);
+          h(i, n - 1) = q * z + p * h(i, n);
+          h(i, n) = q * h(i, n) - p * z;
+        }
+        for (int i = low; i <= high; ++i) {
+          z = v(i, n - 1);
+          v(i, n - 1) = q * z + p * v(i, n);
+          v(i, n) = q * v(i, n) - p * z;
+        }
+        h(n, n - 1) = 0.0;
+      } else {
+        // Complex pair: leave the (standardizable) 2x2 block in place.
+        d[n - 1] = x + p;
+        d[n] = x + p;
+        e[n - 1] = z;
+        e[n] = -z;
+      }
+      n -= 2;
+      iter = 0;
+    } else {
+      // No convergence yet: form shift.
+      x = h(n, n);
+      y = 0.0;
+      w = 0.0;
+      if (l < n) {
+        y = h(n - 1, n - 1);
+        w = h(n, n - 1) * h(n - 1, n);
+      }
+      // Wilkinson's original ad hoc shift.
+      if (iter == 10) {
+        exshift += x;
+        for (int i = low; i <= n; ++i) h(i, i) -= x;
+        s = std::abs(h(n, n - 1)) + std::abs(h(n - 1, n - 2));
+        x = y = 0.75 * s;
+        w = -0.4375 * s * s;
+      }
+      // MATLAB's ad hoc shift.
+      if (iter == 30) {
+        s = (y - x) / 2.0;
+        s = s * s + w;
+        if (s > 0) {
+          s = std::sqrt(s);
+          if (y < x) s = -s;
+          s = x - w / ((y - x) / 2.0 + s);
+          for (int i = low; i <= n; ++i) h(i, i) -= s;
+          exshift += s;
+          x = y = w = 0.964;
+        }
+      }
+      ++iter;
+
+      // Look for two consecutive small subdiagonal elements.
+      int m = n - 2;
+      while (m >= l) {
+        z = h(m, m);
+        r = x - z;
+        s = y - z;
+        p = (r * s - w) / h(m + 1, m) + h(m, m + 1);
+        q = h(m + 1, m + 1) - z - r - s;
+        r = h(m + 2, m + 1);
+        s = std::abs(p) + std::abs(q) + std::abs(r);
+        p /= s;
+        q /= s;
+        r /= s;
+        if (m == l) break;
+        if (std::abs(h(m, m - 1)) * (std::abs(q) + std::abs(r)) <
+            eps * (std::abs(p) * (std::abs(h(m - 1, m - 1)) + std::abs(z) +
+                                  std::abs(h(m + 1, m + 1)))))
+          break;
+        --m;
+      }
+      for (int i = m + 2; i <= n; ++i) {
+        h(i, i - 2) = 0.0;
+        if (i > m + 2) h(i, i - 3) = 0.0;
+      }
+
+      // Double QR step on rows l..n, columns m..n.
+      for (int k = m; k <= n - 1; ++k) {
+        const bool notlast = (k != n - 1);
+        if (k != m) {
+          p = h(k, k - 1);
+          q = h(k + 1, k - 1);
+          r = notlast ? h(k + 2, k - 1) : 0.0;
+          x = std::abs(p) + std::abs(q) + std::abs(r);
+          if (x == 0.0) continue;
+          p /= x;
+          q /= x;
+          r /= x;
+        }
+        s = std::sqrt(p * p + q * q + r * r);
+        if (p < 0) s = -s;
+        if (s != 0) {
+          if (k != m)
+            h(k, k - 1) = -s * x;
+          else if (l != m)
+            h(k, k - 1) = -h(k, k - 1);
+          p += s;
+          x = p / s;
+          y = q / s;
+          z = r / s;
+          q /= p;
+          r /= p;
+
+          // Row modification.
+          for (int j = k; j < nn; ++j) {
+            t = h(k, j) + q * h(k + 1, j);
+            if (notlast) {
+              t += r * h(k + 2, j);
+              h(k + 2, j) -= t * z;
+            }
+            h(k, j) -= t * x;
+            h(k + 1, j) -= t * y;
+          }
+          // Column modification.
+          for (int i = 0; i <= std::min(n, k + 3); ++i) {
+            t = x * h(i, k) + y * h(i, k + 1);
+            if (notlast) {
+              t += z * h(i, k + 2);
+              h(i, k + 2) -= t * r;
+            }
+            h(i, k) -= t;
+            h(i, k + 1) -= t * q;
+          }
+          // Accumulate transformations.
+          for (int i = low; i <= high; ++i) {
+            t = x * v(i, k) + y * v(i, k + 1);
+            if (notlast) {
+              t += z * v(i, k + 2);
+              v(i, k + 2) -= t * r;
+            }
+            v(i, k) -= t;
+            v(i, k + 1) -= t * q;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RealSchurResult realSchur(const Matrix& a) {
+  if (!a.isSquare()) throw std::invalid_argument("realSchur: not square");
+  const std::size_t n = a.rows();
+  RealSchurResult res;
+  if (n == 0) {
+    res.t = Matrix();
+    res.q = Matrix();
+    return res;
+  }
+  HessenbergResult hes = hessenberg(a);
+  res.t = std::move(hes.h);
+  res.q = std::move(hes.q);
+  std::vector<double> d(n, 0.0), e(n, 0.0);
+  hqr2(res.t, res.q, d, e);
+  // Clean below-quasidiagonal entries left by deflation bookkeeping, and
+  // zero the subdiagonal entries the iteration declared negligible so the
+  // result is exactly quasi-triangular for downstream block logic.
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j) res.t(i, j) = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double sub = std::abs(res.t(i + 1, i));
+    if (sub != 0.0 &&
+        sub <= eps * (std::abs(res.t(i, i)) + std::abs(res.t(i + 1, i + 1))))
+      res.t(i + 1, i) = 0.0;
+  }
+  res.eigenvalues.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) res.eigenvalues.emplace_back(d[i], e[i]);
+  return res;
+}
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  return realSchur(a).eigenvalues;
+}
+
+std::vector<std::complex<double>> quasiTriangularEigenvalues(const Matrix& t) {
+  const std::size_t n = t.rows();
+  std::vector<std::complex<double>> eig;
+  eig.reserve(n);
+  std::size_t i = 0;
+  while (i < n) {
+    if (i + 1 < n && t(i + 1, i) != 0.0) {
+      const double a11 = t(i, i), a12 = t(i, i + 1);
+      const double a21 = t(i + 1, i), a22 = t(i + 1, i + 1);
+      const double tr = a11 + a22;
+      const double det = a11 * a22 - a12 * a21;
+      const double disc = tr * tr / 4.0 - det;
+      if (disc >= 0.0) {
+        const double sq = std::sqrt(disc);
+        eig.emplace_back(tr / 2.0 + sq, 0.0);
+        eig.emplace_back(tr / 2.0 - sq, 0.0);
+      } else {
+        const double sq = std::sqrt(-disc);
+        eig.emplace_back(tr / 2.0, sq);
+        eig.emplace_back(tr / 2.0, -sq);
+      }
+      i += 2;
+    } else {
+      eig.emplace_back(t(i, i), 0.0);
+      i += 1;
+    }
+  }
+  return eig;
+}
+
+}  // namespace shhpass::linalg

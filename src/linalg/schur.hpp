@@ -1,0 +1,32 @@
+// Real Schur decomposition A = Q T Q^T with T quasi-upper-triangular
+// (1x1 blocks for real eigenvalues, standardized 2x2 blocks for complex
+// conjugate pairs), via Hessenberg reduction + Francis double-shift QR.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// Result of a real Schur decomposition.
+struct RealSchurResult {
+  Matrix t;  ///< Quasi-upper-triangular Schur form.
+  Matrix q;  ///< Orthogonal, A = q * t * q^T.
+  /// Eigenvalues in diagonal order of t.
+  std::vector<std::complex<double>> eigenvalues;
+};
+
+/// Compute the real Schur form of a square matrix.
+/// Throws std::runtime_error if the QR iteration fails to converge.
+RealSchurResult realSchur(const Matrix& a);
+
+/// Eigenvalues only (convenience; same cost as realSchur).
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Extract the eigenvalues from an already quasi-triangular matrix
+/// (1x1 and 2x2 diagonal blocks), without further factorization.
+std::vector<std::complex<double>> quasiTriangularEigenvalues(const Matrix& t);
+
+}  // namespace shhpass::linalg

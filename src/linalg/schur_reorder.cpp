@@ -1,0 +1,155 @@
+#include "linalg/schur_reorder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/schur.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+// Solve the small Sylvester equation A X - X B = C (A p x p, B q x q,
+// p, q <= 2) by the Kronecker-product linear system.
+Matrix smallSylvester(const Matrix& a, const Matrix& b, const Matrix& c) {
+  const std::size_t p = a.rows(), q = b.rows();
+  Matrix k(p * q, p * q);
+  // vec is column-major: x_{i,j} -> index j*p + i.
+  for (std::size_t j = 0; j < q; ++j)
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::size_t row = j * p + i;
+      for (std::size_t l = 0; l < p; ++l) k(row, j * p + l) += a(i, l);
+      for (std::size_t l = 0; l < q; ++l) k(row, l * p + i) -= b(l, j);
+    }
+  Matrix rhs(p * q, 1);
+  for (std::size_t j = 0; j < q; ++j)
+    for (std::size_t i = 0; i < p; ++i) rhs(j * p + i, 0) = c(i, j);
+  LU lu(k);
+  if (lu.isSingular(1e-13))
+    throw std::runtime_error(
+        "reorderSchur: adjacent blocks share an eigenvalue; swap ill-posed");
+  Matrix xv = lu.solve(rhs);
+  Matrix x(p, q);
+  for (std::size_t j = 0; j < q; ++j)
+    for (std::size_t i = 0; i < p; ++i) x(i, j) = xv(j * p + i, 0);
+  return x;
+}
+
+// Block sizes of a quasi-triangular matrix starting at each block row.
+std::vector<std::size_t> blockSizes(const Matrix& t) {
+  std::vector<std::size_t> sizes;
+  std::size_t i = 0;
+  const std::size_t n = t.rows();
+  while (i < n) {
+    if (i + 1 < n && t(i + 1, i) != 0.0) {
+      sizes.push_back(2);
+      i += 2;
+    } else {
+      sizes.push_back(1);
+      i += 1;
+    }
+  }
+  return sizes;
+}
+
+std::complex<double> blockEigenvalue(const Matrix& t, std::size_t j,
+                                     std::size_t sz) {
+  if (sz == 1) return {t(j, j), 0.0};
+  const double a11 = t(j, j), a12 = t(j, j + 1);
+  const double a21 = t(j + 1, j), a22 = t(j + 1, j + 1);
+  const double tr2 = (a11 + a22) / 2.0;
+  const double det = a11 * a22 - a12 * a21;
+  const double disc = tr2 * tr2 - det;
+  if (disc >= 0.0) return {tr2 + std::sqrt(disc), 0.0};
+  return {tr2, std::sqrt(-disc)};
+}
+
+}  // namespace
+
+void swapSchurBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
+                     std::size_t qsz) {
+  const std::size_t n = t.rows();
+  const std::size_t w = p + qsz;
+  if (j + w > n) throw std::invalid_argument("swapSchurBlocks: out of range");
+  Matrix a11 = t.block(j, j, p, p);
+  Matrix a12 = t.block(j, j + p, p, qsz);
+  Matrix a22 = t.block(j + p, j + p, qsz, qsz);
+
+  // Solve A11 X - X A22 = A12; then the columns of [-X; I] span the
+  // invariant subspace of [A11 A12; 0 A22] belonging to A22's eigenvalues.
+  Matrix x = smallSylvester(a11, a22, a12);
+  Matrix stack(w, qsz);
+  stack.setBlock(0, 0, -1.0 * x);
+  stack.setBlock(p, 0, Matrix::identity(qsz));
+  QR qr(stack);
+  Matrix g = qr.fullQ();  // w x w orthogonal, leading qsz cols span subspace
+
+  // Apply the similarity on the window: rows j..j+w-1 and cols j..j+w-1 of
+  // the full matrix, plus the coupling rows/columns outside the window.
+  // T <- G^T T G restricted appropriately; Q <- Q G.
+  // Rows of the window across all columns j..n-1:
+  Matrix rows = t.block(j, 0, w, n);
+  Matrix newRows = multiply(g, true, rows, false);
+  t.setBlock(j, 0, newRows);
+  // Columns of the window across all rows 0..j+w-1:
+  Matrix cols = t.block(0, j, n, w);
+  Matrix newCols = cols * g;
+  t.setBlock(0, j, newCols);
+  // Accumulate into q.
+  Matrix qcols = q.block(0, j, n, w);
+  q.setBlock(0, j, qcols * g);
+
+  // Zero the now-decoupled lower-left block of the window and any
+  // round-off below it.
+  for (std::size_t r = qsz; r < w; ++r)
+    for (std::size_t c = 0; c < std::min(r, qsz); ++c) t(j + r, j + c) = 0.0;
+  // Clean the interior subdiagonals of the swapped 1x1 blocks.
+  if (qsz == 1 && p == 1) t(j + 1, j) = 0.0;
+  // For 2x2 blocks with real eigenvalues created by round-off, leave them:
+  // downstream uses blockEigenvalue which handles both cases.
+}
+
+std::size_t reorderSchur(Matrix& t, Matrix& q,
+                         const EigenvalueSelector& select) {
+  const std::size_t n = t.rows();
+  if (q.rows() != n || q.cols() != n)
+    throw std::invalid_argument("reorderSchur: shape mismatch");
+  // Bubble selected blocks to the top, one adjacent swap at a time.
+  // `target` is the row index where the next selected block should land.
+  std::size_t target = 0;
+  while (true) {
+    // Re-scan block structure (swaps can perturb positions).
+    std::vector<std::size_t> sizes = blockSizes(t);
+    std::vector<std::size_t> starts(sizes.size());
+    std::size_t pos = 0;
+    for (std::size_t b = 0; b < sizes.size(); ++b) {
+      starts[b] = pos;
+      pos += sizes[b];
+    }
+    // Find the first selected block at or after `target`.
+    std::size_t bsel = sizes.size();
+    for (std::size_t b = 0; b < sizes.size(); ++b) {
+      if (starts[b] < target) continue;
+      if (select(blockEigenvalue(t, starts[b], sizes[b]))) {
+        bsel = b;
+        break;
+      }
+    }
+    if (bsel == sizes.size()) break;  // no more selected blocks below target
+    // Bubble block bsel upward until it sits at `target`.
+    std::size_t b = bsel;
+    while (b > 0 && starts[b] > target) {
+      swapSchurBlocks(t, q, starts[b - 1], sizes[b - 1], sizes[b]);
+      std::swap(sizes[b - 1], sizes[b]);
+      starts[b] = starts[b - 1] + sizes[b - 1];
+      --b;
+    }
+    target += sizes[b];
+  }
+  return target;
+}
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,37 @@
+// Reordering of real Schur forms by orthogonal swaps of adjacent diagonal
+// blocks (Bai-Demmel direct-swap method). Used to compute ordered invariant
+// subspaces, e.g. the stable invariant subspace of the Hamiltonian matrix in
+// Eq. (22) of the paper.
+#pragma once
+
+#include <complex>
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// Predicate on an eigenvalue deciding whether it should be moved to the
+/// leading (top-left) part of the Schur form.
+using EigenvalueSelector = std::function<bool(std::complex<double>)>;
+
+/// Reorder a real Schur factorization (t, q) in place so that every
+/// eigenvalue for which `select` is true appears in the leading diagonal
+/// blocks of t. 2x2 blocks are moved atomically (a conjugate pair is either
+/// fully selected or not, judged on its first eigenvalue).
+///
+/// Returns the dimension of the leading invariant subspace (the number of
+/// selected eigenvalues). The first k columns of q then span the invariant
+/// subspace associated with the selected eigenvalues.
+///
+/// Throws std::runtime_error if an adjacent swap is numerically impossible
+/// (nearly identical eigenvalues across the swap).
+std::size_t reorderSchur(Matrix& t, Matrix& q, const EigenvalueSelector& select);
+
+/// Swap the adjacent diagonal blocks of sizes p and q located at row/col j
+/// (block1 at j..j+p-1, block2 at j+p..j+p+q-1) using an orthogonal
+/// similarity, updating t and the accumulated q. Exposed for testing.
+void swapSchurBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
+                     std::size_t qsz);
+
+}  // namespace shhpass::linalg

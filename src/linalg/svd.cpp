@@ -1,0 +1,368 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+// Golub-Kahan-Reinsch SVD for m >= n (JAMA lineage). Computes thin U (m x n),
+// singular values s (n), and full V (n x n), sorted descending.
+void gkSvd(Matrix a, std::vector<double>& sv, Matrix& u, Matrix& v) {
+  const int m = static_cast<int>(a.rows());
+  const int n = static_cast<int>(a.cols());
+  const int nu = n;
+  sv.assign(n, 0.0);
+  double* s = sv.data();
+  u = Matrix(m, nu);
+  v = Matrix(n, n);
+  std::vector<double> e(n, 0.0), work(m, 0.0);
+
+  // Bidiagonalize, storing reflectors in `a`, diagonal in s, superdiag in e.
+  const int nct = std::min(m - 1, n);
+  const int nrt = std::max(0, std::min(n - 2, m));
+  for (int k = 0; k < std::max(nct, nrt); ++k) {
+    if (k < nct) {
+      double nrm = 0.0;
+      for (int i = k; i < m; ++i) nrm = std::hypot(nrm, a(i, k));
+      s[k] = nrm;
+      if (s[k] != 0.0) {
+        if (a(k, k) < 0.0) s[k] = -s[k];
+        for (int i = k; i < m; ++i) a(i, k) /= s[k];
+        a(k, k) += 1.0;
+      }
+      s[k] = -s[k];
+    }
+    for (int j = k + 1; j < n; ++j) {
+      if (k < nct && s[k] != 0.0) {
+        double t = 0.0;
+        for (int i = k; i < m; ++i) t += a(i, k) * a(i, j);
+        t = -t / a(k, k);
+        for (int i = k; i < m; ++i) a(i, j) += t * a(i, k);
+      }
+      e[j] = a(k, j);
+    }
+    if (k < nct)
+      for (int i = k; i < m; ++i) u(i, k) = a(i, k);
+    if (k < nrt) {
+      double nrm = 0.0;
+      for (int i = k + 1; i < n; ++i) nrm = std::hypot(nrm, e[i]);
+      e[k] = nrm;
+      if (e[k] != 0.0) {
+        if (e[k + 1] < 0.0) e[k] = -e[k];
+        for (int i = k + 1; i < n; ++i) e[i] /= e[k];
+        e[k + 1] += 1.0;
+      }
+      e[k] = -e[k];
+      if (k + 1 < m && e[k] != 0.0) {
+        for (int i = k + 1; i < m; ++i) work[i] = 0.0;
+        for (int j = k + 1; j < n; ++j)
+          for (int i = k + 1; i < m; ++i) work[i] += e[j] * a(i, j);
+        for (int j = k + 1; j < n; ++j) {
+          const double t = -e[j] / e[k + 1];
+          for (int i = k + 1; i < m; ++i) a(i, j) += t * work[i];
+        }
+      }
+      for (int i = k + 1; i < n; ++i) v(i, k) = e[i];
+    }
+  }
+
+  int p = n;
+  if (nct < n) s[nct] = a(nct, nct);
+  if (nrt + 1 < p) e[nrt] = a(nrt, p - 1);
+  e[p - 1] = 0.0;
+
+  // Generate U.
+  for (int j = nct; j < nu; ++j) {
+    for (int i = 0; i < m; ++i) u(i, j) = 0.0;
+    u(j, j) = 1.0;
+  }
+  for (int k = nct - 1; k >= 0; --k) {
+    if (s[k] != 0.0) {
+      for (int j = k + 1; j < nu; ++j) {
+        double t = 0.0;
+        for (int i = k; i < m; ++i) t += u(i, k) * u(i, j);
+        t = -t / u(k, k);
+        for (int i = k; i < m; ++i) u(i, j) += t * u(i, k);
+      }
+      for (int i = k; i < m; ++i) u(i, k) = -u(i, k);
+      u(k, k) = 1.0 + u(k, k);
+      for (int i = 0; i < k - 1 + 1; ++i) u(i, k) = 0.0;
+    } else {
+      for (int i = 0; i < m; ++i) u(i, k) = 0.0;
+      u(k, k) = 1.0;
+    }
+  }
+
+  // Generate V.
+  for (int k = n - 1; k >= 0; --k) {
+    if (k < nrt && e[k] != 0.0) {
+      for (int j = k + 1; j < n; ++j) {
+        double t = 0.0;
+        for (int i = k + 1; i < n; ++i) t += v(i, k) * v(i, j);
+        t = -t / v(k + 1, k);
+        for (int i = k + 1; i < n; ++i) v(i, j) += t * v(i, k);
+      }
+    }
+    for (int i = 0; i < n; ++i) v(i, k) = 0.0;
+    v(k, k) = 1.0;
+  }
+
+  // Main iteration: diagonalize the bidiagonal form.
+  const int pp = p - 1;
+  int iter = 0;
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double tiny = std::numeric_limits<double>::min() / eps;
+  while (p > 0) {
+    int k, kase;
+    for (k = p - 2; k >= -1; --k) {
+      if (k == -1) break;
+      if (std::abs(e[k]) <=
+          tiny + eps * (std::abs(s[k]) + std::abs(s[k + 1]))) {
+        e[k] = 0.0;
+        break;
+      }
+    }
+    if (k == p - 2) {
+      kase = 4;
+    } else {
+      int ks;
+      for (ks = p - 1; ks >= k; --ks) {
+        if (ks == k) break;
+        const double t = (ks != p ? std::abs(e[ks]) : 0.0) +
+                         (ks != k + 1 ? std::abs(e[ks - 1]) : 0.0);
+        if (std::abs(s[ks]) <= tiny + eps * t) {
+          s[ks] = 0.0;
+          break;
+        }
+      }
+      if (ks == k) {
+        kase = 3;
+      } else if (ks == p - 1) {
+        kase = 1;
+      } else {
+        kase = 2;
+        k = ks;
+      }
+    }
+    ++k;
+
+    switch (kase) {
+      case 1: {  // Deflate negligible s(p-1).
+        double f = e[p - 2];
+        e[p - 2] = 0.0;
+        for (int j = p - 2; j >= k; --j) {
+          double t = std::hypot(s[j], f);
+          const double cs = s[j] / t;
+          const double sn = f / t;
+          s[j] = t;
+          if (j != k) {
+            f = -sn * e[j - 1];
+            e[j - 1] = cs * e[j - 1];
+          }
+          for (int i = 0; i < n; ++i) {
+            t = cs * v(i, j) + sn * v(i, p - 1);
+            v(i, p - 1) = -sn * v(i, j) + cs * v(i, p - 1);
+            v(i, j) = t;
+          }
+        }
+        break;
+      }
+      case 2: {  // Split at negligible s(k).
+        double f = e[k - 1];
+        e[k - 1] = 0.0;
+        for (int j = k; j < p; ++j) {
+          double t = std::hypot(s[j], f);
+          const double cs = s[j] / t;
+          const double sn = f / t;
+          s[j] = t;
+          f = -sn * e[j];
+          e[j] = cs * e[j];
+          for (int i = 0; i < m; ++i) {
+            t = cs * u(i, j) + sn * u(i, k - 1);
+            u(i, k - 1) = -sn * u(i, j) + cs * u(i, k - 1);
+            u(i, j) = t;
+          }
+        }
+        break;
+      }
+      case 3: {  // One QR step with Wilkinson shift.
+        const double scale = std::max(
+            {std::abs(s[p - 1]), std::abs(s[p - 2]), std::abs(e[p - 2]),
+             std::abs(s[k]), std::abs(e[k])});
+        const double sp = s[p - 1] / scale;
+        const double spm1 = s[p - 2] / scale;
+        const double epm1 = e[p - 2] / scale;
+        const double sk = s[k] / scale;
+        const double ek = e[k] / scale;
+        const double b = ((spm1 + sp) * (spm1 - sp) + epm1 * epm1) / 2.0;
+        const double c = (sp * epm1) * (sp * epm1);
+        double shift = 0.0;
+        if (b != 0.0 || c != 0.0) {
+          shift = std::sqrt(b * b + c);
+          if (b < 0.0) shift = -shift;
+          shift = c / (b + shift);
+        }
+        double f = (sk + sp) * (sk - sp) + shift;
+        double g = sk * ek;
+        for (int j = k; j < p - 1; ++j) {
+          double t = std::hypot(f, g);
+          double cs = f / t;
+          double sn = g / t;
+          if (j != k) e[j - 1] = t;
+          f = cs * s[j] + sn * e[j];
+          e[j] = cs * e[j] - sn * s[j];
+          g = sn * s[j + 1];
+          s[j + 1] = cs * s[j + 1];
+          for (int i = 0; i < n; ++i) {
+            t = cs * v(i, j) + sn * v(i, j + 1);
+            v(i, j + 1) = -sn * v(i, j) + cs * v(i, j + 1);
+            v(i, j) = t;
+          }
+          t = std::hypot(f, g);
+          cs = f / t;
+          sn = g / t;
+          s[j] = t;
+          f = cs * e[j] + sn * s[j + 1];
+          s[j + 1] = -sn * e[j] + cs * s[j + 1];
+          g = sn * e[j + 1];
+          e[j + 1] = cs * e[j + 1];
+          if (j < m - 1)
+            for (int i = 0; i < m; ++i) {
+              t = cs * u(i, j) + sn * u(i, j + 1);
+              u(i, j + 1) = -sn * u(i, j) + cs * u(i, j + 1);
+              u(i, j) = t;
+            }
+        }
+        e[p - 2] = f;
+        if (++iter > 500)
+          throw std::runtime_error("SVD: QR iteration failed to converge");
+        break;
+      }
+      case 4: {  // Convergence.
+        if (s[k] <= 0.0) {
+          s[k] = (s[k] < 0.0 ? -s[k] : 0.0);
+          for (int i = 0; i <= pp; ++i) v(i, k) = -v(i, k);
+        }
+        while (k < pp) {
+          if (s[k] >= s[k + 1]) break;
+          std::swap(s[k], s[k + 1]);
+          if (k < n - 1)
+            for (int i = 0; i < n; ++i) std::swap(v(i, k), v(i, k + 1));
+          if (k < m - 1)
+            for (int i = 0; i < m; ++i) std::swap(u(i, k), u(i, k + 1));
+          ++k;
+        }
+        iter = 0;
+        --p;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SVD::SVD(const Matrix& a) : m_(a.rows()), n_(a.cols()) {
+  if (a.empty()) {
+    u_ = Matrix::identity(m_);
+    v_ = Matrix::identity(n_);
+    return;
+  }
+  if (m_ >= n_) {
+    gkSvd(a, s_, u_, v_);
+  } else {
+    transposed_ = true;
+    Matrix ut, vt;
+    gkSvd(a.transposed(), s_, vt, ut);  // A^T = vt S ut^T  =>  A = ut S vt^T
+    u_ = ut;  // m x m (full V of the transposed problem)
+    v_ = vt;  // n x m (thin U of the transposed problem)
+  }
+}
+
+double SVD::defaultTol() const {
+  const double smax = s_.empty() ? 0.0 : s_.front();
+  return static_cast<double>(std::max(m_, n_)) *
+         std::numeric_limits<double>::epsilon() * std::max(smax, 1e-300);
+}
+
+std::size_t SVD::rank(double tol) const {
+  if (tol < 0.0) tol = defaultTol();
+  std::size_t r = 0;
+  for (double sv : s_)
+    if (sv > tol) ++r;
+  return r;
+}
+
+Matrix SVD::range(double tol) const {
+  const std::size_t r = rank(tol);
+  return u_.block(0, 0, m_, r);
+}
+
+Matrix SVD::nullspace(double tol) const {
+  const std::size_t r = rank(tol);
+  const std::size_t nullity = n_ - r;
+  if (nullity == 0) return Matrix(n_, 0);
+  if (!transposed_) {
+    // v_ is full n x n; kernel columns are r..n-1.
+    return v_.block(0, r, n_, nullity);
+  }
+  // v_ is n x m (thin). Columns r..m-1 are kernel directions with sigma ~ 0;
+  // the orthogonal complement of all of v_ supplies the remaining n - m.
+  Matrix known = v_.block(0, r, n_, v_.cols() - r);
+  Matrix comp = orthonormalComplement(v_);
+  return hcat(known, comp);
+}
+
+Matrix SVD::leftNullspace(double tol) const {
+  const std::size_t r = rank(tol);
+  const std::size_t defect = m_ - r;
+  if (defect == 0) return Matrix(m_, 0);
+  if (transposed_) {
+    // u_ is full m x m; left-null columns are r..m-1.
+    return u_.block(0, r, m_, defect);
+  }
+  Matrix known = u_.block(0, r, m_, u_.cols() - r);
+  Matrix comp = orthonormalComplement(u_);
+  return hcat(known, comp);
+}
+
+Matrix SVD::pseudoInverse(double tol) const {
+  if (tol < 0.0) tol = defaultTol();
+  const std::size_t k = s_.size();
+  Matrix x(n_, m_);
+  // X = V diag(1/s) U^T restricted to sigma > tol.
+  for (std::size_t p = 0; p < k; ++p) {
+    if (s_[p] <= tol) continue;
+    const double inv = 1.0 / s_[p];
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double vi = v_(i, p) * inv;
+      if (vi == 0.0) continue;
+      for (std::size_t j = 0; j < m_; ++j) x(i, j) += vi * u_(j, p);
+    }
+  }
+  return x;
+}
+
+double SVD::cond() const {
+  if (s_.empty()) return 0.0;
+  const std::size_t k = std::min(m_, n_);
+  const double smin = s_[k - 1];
+  if (smin == 0.0) return std::numeric_limits<double>::infinity();
+  return s_.front() / smin;
+}
+
+std::size_t rank(const Matrix& a, double tol) { return SVD(a).rank(tol); }
+
+Matrix kernel(const Matrix& a, double tol) { return SVD(a).nullspace(tol); }
+
+Matrix pseudoInverse(const Matrix& a, double tol) {
+  return SVD(a).pseudoInverse(tol);
+}
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,68 @@
+// Singular value decomposition A = U diag(s) V^T via Golub-Kahan-Reinsch
+// bidiagonalization + implicit-shift QR. This is the rank oracle for every
+// deflation decision in the SHH passivity pipeline (kernel bases, range
+// bases, subspace subtraction).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::linalg {
+
+/// SVD of an arbitrary m x n real matrix.
+///
+/// Singular values are sorted descending. `u()` is m x min(m,n) (thin) and
+/// `v()` is n x n when m >= n; for m < n the decomposition is computed on the
+/// transpose and the factors swapped, so `u()` is m x m and `v()` is n x
+/// min(m,n). Basis helpers (`range`, `nullspace`, `leftNullspace`) paper over
+/// the difference and always return orthonormal bases of the right dimension.
+class SVD {
+ public:
+  explicit SVD(const Matrix& a);
+
+  const std::vector<double>& singularValues() const { return s_; }
+  const Matrix& u() const { return u_; }
+  const Matrix& v() const { return v_; }
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  /// Default rank tolerance: max(m,n) * eps * sigma_max.
+  double defaultTol() const;
+
+  /// Numerical rank: number of singular values > tol (tol < 0 uses default).
+  std::size_t rank(double tol = -1.0) const;
+
+  /// Orthonormal basis of the column space, m x rank.
+  Matrix range(double tol = -1.0) const;
+
+  /// Orthonormal basis of the (right) nullspace, n x (n - rank).
+  Matrix nullspace(double tol = -1.0) const;
+
+  /// Orthonormal basis of the left nullspace {y : y^T A = 0}, m x (m - rank).
+  Matrix leftNullspace(double tol = -1.0) const;
+
+  /// Moore-Penrose pseudoinverse with rank cutoff tol (default tolerance).
+  Matrix pseudoInverse(double tol = -1.0) const;
+
+  /// Condition number sigma_max / sigma_min (inf if rank-deficient).
+  double cond() const;
+
+ private:
+  std::size_t m_ = 0, n_ = 0;
+  std::vector<double> s_;
+  Matrix u_, v_;
+  bool transposed_ = false;
+};
+
+/// Convenience: numerical rank of A at the SVD default tolerance.
+std::size_t rank(const Matrix& a, double tol = -1.0);
+
+/// Convenience: orthonormal kernel basis of A (n x nullity).
+Matrix kernel(const Matrix& a, double tol = -1.0);
+
+/// Convenience: Moore-Penrose pseudoinverse.
+Matrix pseudoInverse(const Matrix& a, double tol = -1.0);
+
+}  // namespace shhpass::linalg

@@ -1,0 +1,60 @@
+// A small dense semidefinite-programming feasibility solver, built from
+// scratch for the Freund-Jarre LMI baseline (Sec. 2.2 of the paper).
+//
+// Problem: find x in R^p such that, for every block b,
+//     S_b(x) = A0_b + sum_k x_k A_bk  is positive semidefinite.
+// Solved by the phase-I "max t" program
+//     max t   s.t.   S_b(x) - t I >= 0  for all b,
+// with a log-det barrier and damped Newton steps over (x, t). The variable
+// count for the passivity LMI is Theta(n^2) and the Newton system is dense,
+// so the overall cost is O(n^5)-O(n^6) per solve — the complexity class the
+// paper attributes to the LMI test.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::lmi {
+
+/// One LMI block: A0 + sum_k x_k basis[k] >= 0 (all matrices symmetric and
+/// of identical size within the block).
+struct SdpBlock {
+  linalg::Matrix a0;
+  std::vector<linalg::Matrix> basis;
+};
+
+/// Solver options.
+struct SdpOptions {
+  double muInitial = 1.0;      ///< Initial barrier weight.
+  double muFactor = 0.1;       ///< Barrier reduction per outer stage.
+  double muFinal = 1e-10;      ///< Terminal barrier weight.
+  int maxNewtonPerStage = 40;  ///< Newton iteration cap per stage.
+  double gradTol = 1e-9;       ///< Newton stationarity tolerance.
+  double feasTol = 1e-5;       ///< Declare feasible when t* >= -feasTol *
+                               ///< (1 + |A0| scale). Boundary-feasible
+                               ///< problems (D + D^T singular, as for
+                               ///< ideal RLC ports) converge to t* = 0^-
+                               ///< at a rate limited by the final barrier
+                               ///< weight, so this cannot be too sharp.
+  double earlyExitMargin = -1.0;  ///< If >= 0: stop as soon as t exceeds
+                                  ///< this value (strict feasibility is
+                                  ///< then already certified).
+};
+
+/// Result of a feasibility solve.
+struct SdpResult {
+  bool feasible = false;
+  double tStar = 0.0;          ///< Final max-t value (>= 0 - tol: feasible).
+  std::vector<double> x;       ///< Certifying variable values.
+  int newtonIterations = 0;    ///< Total Newton steps (cost diagnostic).
+};
+
+/// Solve the feasibility problem over the given blocks. All blocks must
+/// have a consistent variable dimension p (basis sizes equal). Throws
+/// std::invalid_argument on inconsistent inputs.
+SdpResult solveSdpFeasibility(const std::vector<SdpBlock>& blocks,
+                              const SdpOptions& opt = {});
+
+}  // namespace shhpass::lmi

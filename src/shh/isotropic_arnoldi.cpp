@@ -1,0 +1,169 @@
+#include "shh/isotropic_arnoldi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace shhpass::shh {
+
+using linalg::Matrix;
+
+namespace {
+
+// Apply the symplectic Householder U = diag(P, P), P = I - beta v v^T acting
+// on index range [k0, n) of each half, as a similarity W <- U^T W U, and
+// accumulate Z <- Z U. v is indexed from k0 (v[0] corresponds to row k0).
+void applySymplecticHouseholder(Matrix& w, Matrix& z, std::size_t n,
+                                std::size_t k0, const std::vector<double>& v,
+                                double beta) {
+  if (beta == 0.0) return;
+  const std::size_t n2 = 2 * n;
+  const std::size_t len = v.size();
+  // Rows: for each half offset in {0, n}, rows k0+off .. k0+len-1+off.
+  for (std::size_t off : {std::size_t{0}, n}) {
+    for (std::size_t j = 0; j < n2; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < len; ++i) s += v[i] * w(off + k0 + i, j);
+      s *= beta;
+      for (std::size_t i = 0; i < len; ++i) w(off + k0 + i, j) -= s * v[i];
+    }
+  }
+  // Columns of W and of Z.
+  for (std::size_t off : {std::size_t{0}, n}) {
+    for (std::size_t i = 0; i < n2; ++i) {
+      double s = 0.0;
+      for (std::size_t jj = 0; jj < len; ++jj) s += v[jj] * w(i, off + k0 + jj);
+      s *= beta;
+      for (std::size_t jj = 0; jj < len; ++jj) w(i, off + k0 + jj) -= s * v[jj];
+    }
+    for (std::size_t i = 0; i < n2; ++i) {
+      double s = 0.0;
+      for (std::size_t jj = 0; jj < len; ++jj) s += v[jj] * z(i, off + k0 + jj);
+      s *= beta;
+      for (std::size_t jj = 0; jj < len; ++jj) z(i, off + k0 + jj) -= s * v[jj];
+    }
+  }
+}
+
+// Apply the symplectic Givens rotation in the (i, n+i) plane as a
+// similarity W <- G^T W G and accumulate Z <- Z G, where
+// G mixes coordinates i and n+i: [c s; -s c].
+void applySymplecticGivens(Matrix& w, Matrix& z, std::size_t n, std::size_t i,
+                           double cc, double ss) {
+  const std::size_t n2 = 2 * n;
+  const std::size_t r1 = i, r2 = n + i;
+  // Rows: G^T from the left.
+  for (std::size_t j = 0; j < n2; ++j) {
+    const double a = w(r1, j), b = w(r2, j);
+    w(r1, j) = cc * a + ss * b;
+    w(r2, j) = -ss * a + cc * b;
+  }
+  // Columns: G from the right.
+  for (std::size_t k = 0; k < n2; ++k) {
+    const double a = w(k, r1), b = w(k, r2);
+    w(k, r1) = cc * a + ss * b;
+    w(k, r2) = -ss * a + cc * b;
+  }
+  for (std::size_t k = 0; k < z.rows(); ++k) {
+    const double a = z(k, r1), b = z(k, r2);
+    z(k, r1) = cc * a + ss * b;
+    z(k, r2) = -ss * a + cc * b;
+  }
+}
+
+// Householder vector for x (len >= 1): P x = alpha e1. Returns beta and v
+// (v[0] = 1 convention folded into unnormalized v with explicit beta).
+double householderVector(const std::vector<double>& x,
+                         std::vector<double>& v) {
+  const std::size_t len = x.size();
+  v = x;
+  double scale = 0.0;
+  for (double t : x) scale = std::max(scale, std::abs(t));
+  if (scale == 0.0) return 0.0;
+  double sigma = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    v[i] /= scale;
+    sigma += v[i] * v[i];
+  }
+  double alpha = std::sqrt(sigma);
+  if (v[0] > 0) alpha = -alpha;
+  v[0] -= alpha;
+  double vv = 0.0;
+  for (double t : v) vv += t * t;
+  if (vv == 0.0) return 0.0;
+  return 2.0 / vv;
+}
+
+}  // namespace
+
+Matrix SkewHamiltonianTriangularization::ebar() const {
+  const std::size_t n = half();
+  return w.block(0, 0, n, n);
+}
+
+Matrix SkewHamiltonianTriangularization::theta() const {
+  const std::size_t n = half();
+  return w.block(0, n, n, n);
+}
+
+SkewHamiltonianTriangularization skewHamiltonianBlockTriangularize(
+    const Matrix& wIn) {
+  if (!wIn.isSquare() || wIn.rows() % 2 != 0)
+    throw std::invalid_argument(
+        "skewHamiltonianBlockTriangularize: need even square matrix");
+  const std::size_t n = wIn.rows() / 2;
+  SkewHamiltonianTriangularization out;
+  out.w = wIn;
+  out.z = Matrix::identity(2 * n);
+  Matrix& w = out.w;
+  Matrix& z = out.z;
+
+  std::vector<double> x, v;
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    // (1) Householder on [j+1, n): compress W(n+j+1 .. 2n-1, j) onto its
+    // first entry W(n+j+1, j).
+    const std::size_t len = n - (j + 1);
+    if (len > 1) {
+      x.assign(len, 0.0);
+      for (std::size_t i = 0; i < len; ++i) x[i] = w(n + j + 1 + i, j);
+      const double beta = householderVector(x, v);
+      applySymplecticHouseholder(w, z, n, j + 1, v, beta);
+    }
+    // (2) Symplectic Givens in plane (j+1, n+j+1): zero W(n+j+1, j)
+    // against W(j+1, j).
+    {
+      const double a = w(j + 1, j), b = w(n + j + 1, j);
+      const double r = std::hypot(a, b);
+      if (r > 0.0 && std::abs(b) > 0.0)
+        applySymplecticGivens(w, z, n, j + 1, a / r, b / r);
+    }
+    // (3) Householder on [j+1, n): compress W(j+1 .. n-1, j) onto W(j+1, j)
+    // (makes the top-left block upper Hessenberg).
+    if (len > 1) {
+      x.assign(len, 0.0);
+      for (std::size_t i = 0; i < len; ++i) x[i] = w(j + 1 + i, j);
+      const double beta = householderVector(x, v);
+      applySymplecticHouseholder(w, z, n, j + 1, v, beta);
+    }
+  }
+
+  // Scrub structural zeros: lower-left block and sub-Hessenberg entries of
+  // the top-left block; enforce W22 = W11^T and skew-symmetry of Theta.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t jj = 0; jj < n; ++jj) w(n + i, jj) = 0.0;
+  for (std::size_t i = 2; i < n; ++i)
+    for (std::size_t jj = 0; jj + 1 < i; ++jj) w(i, jj) = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t jj = 0; jj < n; ++jj) w(n + i, n + jj) = w(jj, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    w(i, n + i) = 0.0;
+    for (std::size_t jj = i + 1; jj < n; ++jj) {
+      const double t = 0.5 * (w(i, n + jj) - w(jj, n + i));
+      w(i, n + jj) = t;
+      w(jj, n + i) = -t;
+    }
+  }
+  return out;
+}
+
+}  // namespace shhpass::shh

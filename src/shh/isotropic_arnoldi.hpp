@@ -1,0 +1,32 @@
+// Structure-preserving block-triangularization of a skew-Hamiltonian
+// matrix (the "isotropic Arnoldi process" of Sec. 3.3, after Mehrmann &
+// Watkins): an orthogonal symplectic Z with
+//     Z^T W Z = [ Ebar  Theta; 0  Ebar^T ],   Theta skew-symmetric,
+// with Ebar upper Hessenberg. For dense matrices this is realized by the
+// O(n^3) Paige/Van Loan-style sweep of symplectic Householder reflectors
+// and symplectic Givens rotations.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::shh {
+
+/// Result of the skew-Hamiltonian block-triangularization.
+struct SkewHamiltonianTriangularization {
+  linalg::Matrix w;  ///< Z^T W Z = [Ebar Theta; 0 Ebar^T] (2n x 2n).
+  linalg::Matrix z;  ///< Orthogonal symplectic accumulation.
+
+  /// Half-size n.
+  std::size_t half() const { return w.rows() / 2; }
+  /// The n x n upper-Hessenberg block Ebar.
+  linalg::Matrix ebar() const;
+  /// The n x n skew-symmetric block Theta.
+  linalg::Matrix theta() const;
+};
+
+/// Block-triangularize a skew-Hamiltonian matrix. Throws
+/// std::invalid_argument if `w` is not square of even size.
+SkewHamiltonianTriangularization skewHamiltonianBlockTriangularize(
+    const linalg::Matrix& w);
+
+}  // namespace shhpass::shh

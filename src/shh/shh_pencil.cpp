@@ -1,0 +1,49 @@
+#include "shh/shh_pencil.hpp"
+
+#include <algorithm>
+
+#include "control/hamiltonian.hpp"
+#include "shh/symplectic.hpp"
+
+namespace shhpass::shh {
+
+using linalg::Matrix;
+
+Matrix ShhRealization::b() const { return applyJ(c.transposed()); }
+
+ds::DescriptorSystem ShhRealization::toDescriptor() const {
+  ds::DescriptorSystem sys;
+  sys.e = e;
+  sys.a = a;
+  sys.b = b();
+  sys.c = c;
+  sys.d = d;
+  return sys;
+}
+
+bool ShhRealization::checkStructure(double tol) const {
+  if (!e.isSquare() || e.rows() != a.rows() || e.rows() % 2 != 0) return false;
+  if (!control::isSkewHamiltonian(e, tol)) return false;
+  if (!control::isHamiltonian(a, tol)) return false;
+  return d.isSymmetric(tol * std::max(1.0, d.maxAbs()));
+}
+
+ds::DescriptorSystem SkewSymRealization::toDescriptor() const {
+  ds::DescriptorSystem sys;
+  sys.e = e;
+  sys.a = a;
+  sys.b = -1.0 * c.transposed();
+  sys.c = c;
+  sys.d = d;
+  return sys;
+}
+
+bool SkewSymRealization::checkStructure(double tol) const {
+  if (!e.isSquare() || e.rows() != a.rows()) return false;
+  const double se = tol * std::max(1.0, e.maxAbs());
+  const double sa = tol * std::max(1.0, a.maxAbs());
+  return e.isSkewSymmetric(se) && a.isSymmetric(sa) &&
+         d.isSymmetric(tol * std::max(1.0, d.maxAbs()));
+}
+
+}  // namespace shhpass::shh

@@ -1,0 +1,48 @@
+// Skew-Hamiltonian/Hamiltonian (SHH) realization of Phi(s) = G(s) + G~(s)
+// (Eq. 10 of the paper) and its structure predicates.
+//
+// The realization is stored as (E, A, C, D) only: the input map is tied to
+// the structure as B = J C^T, which every stage of the pipeline preserves.
+#pragma once
+
+#include "ds/descriptor.hpp"
+#include "linalg/matrix.hpp"
+
+namespace shhpass::shh {
+
+/// SHH realization: Phi(s) = D + C (sE - A)^{-1} J C^T with E
+/// skew-Hamiltonian, A Hamiltonian, and D symmetric.
+struct ShhRealization {
+  linalg::Matrix e;  ///< 2n x 2n skew-Hamiltonian.
+  linalg::Matrix a;  ///< 2n x 2n Hamiltonian.
+  linalg::Matrix c;  ///< m x 2n output map.
+  linalg::Matrix d;  ///< m x m symmetric feedthrough.
+
+  std::size_t order() const { return a.rows(); }
+  std::size_t ports() const { return c.rows(); }
+
+  /// The structured input map B = J C^T.
+  linalg::Matrix b() const;
+
+  /// View as a plain descriptor system (for transfer evaluation etc.).
+  ds::DescriptorSystem toDescriptor() const;
+
+  /// Verify the SHH structure within `tol` (relative).
+  bool checkStructure(double tol = 1e-9) const;
+};
+
+/// Intermediate skew-symmetric/symmetric realization produced by the
+/// stage-1 deflation (Eq. 17): Phi(s) = D + C (sE - A)^{-1} (-C^T) with E
+/// skew-symmetric and A symmetric.
+struct SkewSymRealization {
+  linalg::Matrix e;  ///< skew-symmetric.
+  linalg::Matrix a;  ///< symmetric.
+  linalg::Matrix c;  ///< output map; input map is -C^T.
+  linalg::Matrix d;  ///< symmetric feedthrough.
+
+  std::size_t order() const { return a.rows(); }
+  ds::DescriptorSystem toDescriptor() const;
+  bool checkStructure(double tol = 1e-9) const;
+};
+
+}  // namespace shhpass::shh

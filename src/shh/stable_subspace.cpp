@@ -1,0 +1,42 @@
+#include "shh/stable_subspace.hpp"
+
+#include "control/hamiltonian.hpp"
+#include "control/lyapunov.hpp"
+#include "linalg/blas.hpp"
+#include "shh/symplectic.hpp"
+
+namespace shhpass::shh {
+
+using linalg::Matrix;
+
+HamiltonianDecoupling decoupleHamiltonian(const Matrix& h, double imagTol) {
+  HamiltonianDecoupling out;
+  control::StableSubspace ss = control::stableInvariantSubspace(h, imagTol);
+  if (!ss.ok) return out;
+  const std::size_t np = ss.x1.rows();
+  if (np == 0) {
+    out.ok = true;
+    out.z2 = Matrix();
+    out.z2inv = Matrix();
+    return out;
+  }
+  // Z1 = [X1 -X2; X2 X1] is orthogonal symplectic because [X1; X2] is an
+  // orthonormal Lagrangian basis (X1^T X2 symmetric, see the paper's
+  // remark after Eq. 22). Then Z1^T H Z1 = [Lambda Ahat; 0 -Lambda^T].
+  Matrix z1 = lagrangianCompletion(ss.x1, ss.x2);
+  Matrix t1 = linalg::multiply(linalg::atb(z1, h), false, z1, false);
+  out.lambda = t1.block(0, 0, np, np);
+  Matrix ahat = t1.block(0, np, np, np);
+  // Decouple: Lambda Y + Y Lambda^T + Ahat = 0; Z2 = Z1 [I Y; 0 I].
+  out.y = control::solveLyapunov(out.lambda, ahat);
+  Matrix s = Matrix::identity(2 * np);
+  s.setBlock(0, np, out.y);
+  out.z2 = z1 * s;
+  Matrix sInv = Matrix::identity(2 * np);
+  sInv.setBlock(0, np, -1.0 * out.y);
+  out.z2inv = linalg::multiply(sInv, false, z1, true);
+  out.ok = true;
+  return out;
+}
+
+}  // namespace shhpass::shh

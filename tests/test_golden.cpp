@@ -1,0 +1,113 @@
+// Golden-value end-to-end test: a hand-solvable series-RLC one-port where
+// every quantity the library computes has a closed form.
+//
+// Circuit: port --R1-- n2 --L-- n3 --(C || R2)-- ground.
+//   Z(s) = R1 + s L + R2 / (1 + s R2 C)
+// Closed forms:
+//   M1 = L (residue of the pole at infinity), M0 = R1,
+//   Re Z(jw) = R1 + R2 / (1 + (w R2 C)^2)  (monotone in w),
+//   passivity margin = min_w Re Z = R1 (attained at w = infinity),
+//   Z(0) = R1 + R2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/mna.hpp"
+#include "circuits/netlist.hpp"
+#include "core/margin.hpp"
+#include "core/markov.hpp"
+#include "core/passivity_test.hpp"
+#include "core/reduction.hpp"
+#include "ds/balance.hpp"
+#include "ds/impulse_tests.hpp"
+
+namespace shhpass {
+namespace {
+
+constexpr double kR1 = 0.75, kL = 0.4, kC = 0.2, kR2 = 3.0;
+
+ds::DescriptorSystem goldenCircuit() {
+  circuits::Netlist net(3);
+  net.addResistor(1, 2, kR1);
+  net.addInductor(2, 3, kL);
+  net.addCapacitor(3, 0, kC);
+  net.addResistor(3, 0, kR2);
+  net.addPort(1);
+  return circuits::stampMna(net);
+}
+
+
+TEST(Golden, TransferMatchesClosedForm) {
+  ds::DescriptorSystem g = goldenCircuit();
+  for (double w : {0.0, 0.5, 2.0, 50.0}) {
+    ds::TransferValue z = ds::evalTransfer(g, 0.0, w);
+    // Z(jw) = R1 + jwL + R2/(1 + jw R2 C).
+    const double den = 1.0 + w * w * kR2 * kR2 * kC * kC;
+    const double re = kR1 + kR2 / den;
+    const double im = w * kL - w * kR2 * kR2 * kC / den;
+    EXPECT_NEAR(z.re(0, 0), re, 1e-10) << "w=" << w;
+    EXPECT_NEAR(z.im(0, 0), im, 1e-10) << "w=" << w;
+  }
+}
+
+TEST(Golden, ModeCensus) {
+  // States: 3 node voltages + 1 inductor current; only n3 has capacitance,
+  // so rank(E) = 2 (C row + L row). n2 is purely inductive+resistive.
+  ds::DescriptorSystem g = goldenCircuit();
+  ds::ModeCensus mc = ds::censusModes(g);
+  EXPECT_EQ(mc.order, 4u);
+  EXPECT_EQ(mc.rankE, 2u);
+  // One finite pole (the RC), one impulsive chain (the series L path),
+  // nondynamic remainder.
+  EXPECT_EQ(mc.finite, 1u);
+  EXPECT_EQ(mc.impulsive, 1u);
+  EXPECT_EQ(mc.nondynamic, 2u);
+  EXPECT_FALSE(ds::isImpulseFree(g));
+  EXPECT_EQ(ds::pencilIndex(g), 2u);
+  EXPECT_FALSE(ds::hasGradeThreeChains(g));
+}
+
+TEST(Golden, M1IsTheInductance) {
+  core::M1Extraction m1 = core::extractM1(goldenCircuit());
+  ASSERT_EQ(m1.chainCount, 1u);
+  EXPECT_TRUE(m1.psd);
+  EXPECT_NEAR(m1.m1(0, 0), kL, 1e-10);
+}
+
+TEST(Golden, PassiveWithDiagnostics) {
+  core::PassivityResult r = core::testPassivityShh(goldenCircuit());
+  EXPECT_TRUE(r.passive) << core::failureStageName(r.failure);
+  EXPECT_NEAR(r.m1(0, 0), kL, 1e-9);
+  EXPECT_GT(r.removedImpulsive, 0u);
+}
+
+TEST(Golden, MarginIsSeriesResistance) {
+  core::PassivityMargin pm = core::passivityMargin(goldenCircuit(), 1e-8);
+  ASSERT_TRUE(pm.defined);
+  // min_w Re Z = R1 at w -> infinity.
+  EXPECT_NEAR(pm.margin, kR1, 1e-4);
+}
+
+TEST(Golden, DcValue) {
+  ds::TransferValue z = ds::evalTransfer(goldenCircuit(), 0.0, 0.0);
+  EXPECT_NEAR(z.re(0, 0), kR1 + kR2, 1e-10);
+  EXPECT_NEAR(z.im(0, 0), 0.0, 1e-12);
+}
+
+TEST(Golden, ReductionReproducesExactly) {
+  // The proper part is order 1, so "reduction" to order >= 1 must be exact
+  // including M0, M1 and the pole location.
+  core::ReducedModel rom = core::reduceDescriptor(goldenCircuit(), 4);
+  ASSERT_TRUE(rom.ok);
+  EXPECT_EQ(rom.properOrder, 1u);
+  EXPECT_EQ(rom.impulsiveRank, 1u);
+  for (double w : {0.0, 1.0, 30.0}) {
+    ds::TransferValue a = ds::evalTransfer(goldenCircuit(), 0.0, w);
+    ds::TransferValue b = ds::evalTransfer(rom.sys, 0.0, w);
+    EXPECT_NEAR(a.re(0, 0), b.re(0, 0), 1e-8) << "w=" << w;
+    EXPECT_NEAR(a.im(0, 0), b.im(0, 0), 1e-8) << "w=" << w;
+  }
+}
+
+}  // namespace
+}  // namespace shhpass

@@ -1,0 +1,126 @@
+// Tests for Hamiltonian structure predicates and the stable invariant
+// subspace computation (Eq. 22 of the paper).
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "control/hamiltonian.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/schur.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::control {
+namespace {
+
+using linalg::Matrix;
+using testing::expectMatrixNear;
+using testing::randomMatrix;
+using testing::randomStable;
+using testing::randomSymmetric;
+
+Matrix randomHamiltonian(std::size_t n, unsigned seed) {
+  return makeHamiltonian(randomMatrix(n, n, seed),
+                         randomSymmetric(n, seed + 1),
+                         randomSymmetric(n, seed + 2));
+}
+
+TEST(HamiltonianStructure, MakeAndDetect) {
+  Matrix h = randomHamiltonian(4, 301);
+  EXPECT_TRUE(isHamiltonian(h));
+  EXPECT_FALSE(isSkewHamiltonian(h));
+  // Perturbing one off-diagonal entry of the R block breaks the structure.
+  h(0, 5) += 1.0;
+  EXPECT_FALSE(isHamiltonian(h));
+}
+
+TEST(HamiltonianStructure, SkewHamiltonianDetect) {
+  // W = [A R; Q A^T] with R, Q skew-symmetric.
+  const std::size_t n = 3;
+  Matrix a = randomMatrix(n, n, 302);
+  Matrix r = randomMatrix(n, n, 303);
+  Matrix rSkew = r - r.transposed();
+  Matrix q = randomMatrix(n, n, 304);
+  Matrix qSkew = q - q.transposed();
+  Matrix w(2 * n, 2 * n);
+  w.setBlock(0, 0, a);
+  w.setBlock(0, n, rSkew);
+  w.setBlock(n, 0, qSkew);
+  w.setBlock(n, n, a.transposed());
+  EXPECT_TRUE(isSkewHamiltonian(w));
+  EXPECT_FALSE(isHamiltonian(w));
+}
+
+TEST(HamiltonianStructure, OddSizeRejected) {
+  EXPECT_FALSE(isHamiltonian(Matrix::identity(3)));
+  EXPECT_FALSE(isSkewHamiltonian(Matrix::identity(3)));
+  // Identity of even size IS skew-Hamiltonian (J I = J skew) but not
+  // Hamiltonian.
+  EXPECT_TRUE(isSkewHamiltonian(Matrix::identity(4)));
+  EXPECT_FALSE(isHamiltonian(Matrix::identity(4)));
+}
+
+TEST(HamiltonianSpectrum, QuadrupletSymmetry) {
+  Matrix h = randomHamiltonian(5, 305);
+  auto eig = linalg::eigenvalues(h);
+  // For every eigenvalue lambda, -lambda is also an eigenvalue.
+  for (const auto& l : eig) {
+    bool foundMirror = false;
+    for (const auto& m : eig)
+      if (std::abs(m.real() + l.real()) < 1e-7 &&
+          std::abs(std::abs(m.imag()) - std::abs(l.imag())) < 1e-7) {
+        foundMirror = true;
+        break;
+      }
+    EXPECT_TRUE(foundMirror) << "no mirror for " << l.real();
+  }
+}
+
+TEST(StableSubspaceTest, RiccatiStyleHamiltonian) {
+  // H = [A -BB^T; -C^TC -A^T] with A stable has a clean spectral split.
+  const std::size_t n = 4;
+  Matrix a = randomStable(n, 306);
+  Matrix b = randomMatrix(n, 2, 307);
+  Matrix c = randomMatrix(2, n, 308);
+  Matrix h = makeHamiltonian(a, -1.0 * linalg::abt(b, b),
+                             -1.0 * linalg::atb(c, c));
+  StableSubspace ss = stableInvariantSubspace(h);
+  ASSERT_TRUE(ss.ok);
+  EXPECT_EQ(ss.x1.rows(), n);
+  // Invariance: H [X1; X2] = [X1; X2] Lambda.
+  Matrix x = linalg::vcat(ss.x1, ss.x2);
+  expectMatrixNear(h * x, x * ss.lambda, 1e-8);
+  // Lambda stable.
+  for (const auto& l : linalg::quasiTriangularEigenvalues(ss.lambda))
+    EXPECT_LT(l.real(), 0.0);
+}
+
+TEST(StableSubspaceTest, SymplecticPropertyX1tX2Symmetric) {
+  // The paper notes X1^T X2 = X2^T X1 for the stable subspace basis.
+  const std::size_t n = 5;
+  Matrix a = randomStable(n, 309);
+  Matrix b = randomMatrix(n, 2, 310);
+  Matrix c = randomMatrix(2, n, 311);
+  Matrix h = makeHamiltonian(a, -1.0 * linalg::abt(b, b),
+                             -1.0 * linalg::atb(c, c));
+  StableSubspace ss = stableInvariantSubspace(h);
+  ASSERT_TRUE(ss.ok);
+  Matrix x1tx2 = linalg::atb(ss.x1, ss.x2);
+  EXPECT_TRUE(x1tx2.isSymmetric(1e-8 * std::max(1.0, x1tx2.maxAbs())));
+}
+
+TEST(StableSubspaceTest, FailsOnImaginaryAxisEigenvalues) {
+  // H = [0 1; -1 0] (J itself) has eigenvalues +/- i.
+  Matrix h = Matrix::symplecticJ(1);
+  StableSubspace ss = stableInvariantSubspace(h);
+  EXPECT_FALSE(ss.ok);
+}
+
+TEST(ImaginaryAxisDetection, DetectsAndClears) {
+  Matrix h = Matrix::symplecticJ(2);  // eigenvalues +/- i (twice)
+  EXPECT_TRUE(hasImaginaryAxisEigenvalue(h));
+  Matrix stable = randomStable(4, 312);
+  EXPECT_FALSE(hasImaginaryAxisEigenvalue(stable, 1e-10));
+}
+
+}  // namespace
+}  // namespace shhpass::control

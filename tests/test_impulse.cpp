@@ -1,0 +1,156 @@
+// Tests for the mode census and impulse controllability/observability
+// characterizations (Sec. 2.5 of the paper).
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "ds/impulse_tests.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::ds {
+namespace {
+
+using linalg::Matrix;
+
+// Index-1 system: E = diag(1, 0), A22 = -1 nonsingular.
+DescriptorSystem index1() {
+  DescriptorSystem s;
+  s.e = Matrix::diag({1.0, 0.0});
+  s.a = Matrix{{-1.0, 0.0}, {0.0, -1.0}};
+  s.b = Matrix{{1.0}, {1.0}};
+  s.c = Matrix{{1.0, 1.0}};
+  s.d = Matrix{{0.0}};
+  return s;
+}
+
+// Index-2 system (differentiator): impulsive modes present.
+DescriptorSystem index2() {
+  DescriptorSystem s;
+  s.e = Matrix{{0.0, 1.0}, {0.0, 0.0}};
+  s.a = Matrix::identity(2);
+  s.b = Matrix{{0.0}, {1.0}};
+  s.c = Matrix{{-1.0, 0.0}};
+  s.d = Matrix{{0.0}};
+  return s;
+}
+
+TEST(ModeCensusTest, RegularEAllFinite) {
+  DescriptorSystem s = index1();
+  s.e = Matrix::identity(2);
+  ModeCensus mc = censusModes(s);
+  EXPECT_EQ(mc.finite, 2u);
+  EXPECT_EQ(mc.nondynamic, 0u);
+  EXPECT_EQ(mc.impulsive, 0u);
+}
+
+TEST(ModeCensusTest, Index1Split) {
+  ModeCensus mc = censusModes(index1());
+  EXPECT_EQ(mc.order, 2u);
+  EXPECT_EQ(mc.rankE, 1u);
+  EXPECT_EQ(mc.finite, 1u);
+  EXPECT_EQ(mc.nondynamic, 1u);
+  EXPECT_EQ(mc.impulsive, 0u);
+}
+
+TEST(ModeCensusTest, Index2Split) {
+  ModeCensus mc = censusModes(index2());
+  EXPECT_EQ(mc.rankE, 1u);
+  EXPECT_EQ(mc.finite, 0u);
+  EXPECT_EQ(mc.nondynamic, 1u);
+  EXPECT_EQ(mc.impulsive, 1u);
+}
+
+TEST(ImpulseFree, Classification) {
+  EXPECT_TRUE(isImpulseFree(index1()));
+  EXPECT_FALSE(isImpulseFree(index2()));
+  // Nonsingular E is trivially impulse-free.
+  DescriptorSystem reg = index1();
+  reg.e = Matrix::identity(2);
+  EXPECT_TRUE(isImpulseFree(reg));
+}
+
+TEST(ImpulseObservability, DifferentiatorIsObservable) {
+  // The differentiator's impulsive mode shows up in the output (G = s).
+  EXPECT_TRUE(isImpulseObservable(index2()));
+}
+
+TEST(ImpulseObservability, HiddenImpulsiveModeDetected) {
+  // Zero the output map on the impulsive chain: mode becomes unobservable.
+  DescriptorSystem s = index2();
+  s.c = Matrix{{0.0, 0.0}};
+  EXPECT_FALSE(isImpulseObservable(s));
+  // But it is still impulse controllable through b.
+  EXPECT_TRUE(isImpulseControllable(s));
+}
+
+TEST(ImpulseControllability, DrivenChainIsControllable) {
+  EXPECT_TRUE(isImpulseControllable(index2()));
+  DescriptorSystem s = index2();
+  s.b = Matrix{{0.0}, {0.0}};
+  EXPECT_FALSE(isImpulseControllable(s));
+  EXPECT_TRUE(isImpulseObservable(s));
+}
+
+TEST(PencilIndexTest, KnownIndices) {
+  DescriptorSystem reg = index1();
+  reg.e = Matrix::identity(2);
+  EXPECT_EQ(pencilIndex(reg), 0u);
+  EXPECT_EQ(pencilIndex(index1()), 1u);
+  EXPECT_EQ(pencilIndex(index2()), 2u);
+}
+
+TEST(PencilIndexTest, Index3Chain) {
+  // 3-long nilpotent chain: index 3.
+  DescriptorSystem s;
+  s.e = Matrix::zeros(3, 3);
+  s.e(0, 1) = 1.0;
+  s.e(1, 2) = 1.0;
+  s.a = Matrix::identity(3);
+  s.b = Matrix(3, 1, 1.0);
+  s.c = Matrix(1, 3, 1.0);
+  s.d = Matrix(1, 1);
+  EXPECT_EQ(pencilIndex(s), 3u);
+}
+
+TEST(CircuitModels, PlainLadderIsImpulsiveAtPort) {
+  // Port node has no shunt capacitor: Z(s) ~ s*l at infinity.
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  DescriptorSystem sys = circuits::makeRlcLadder(opt);
+  EXPECT_FALSE(isImpulseFree(sys));
+  // Physical RLC: the impulsive mode is both controllable and observable
+  // from the port.
+  EXPECT_TRUE(isImpulseControllable(sys));
+  EXPECT_TRUE(isImpulseObservable(sys));
+}
+
+TEST(CircuitModels, CapAtPortMakesImpulseFree) {
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  opt.capAtPort = true;
+  DescriptorSystem sys = circuits::makeRlcLadder(opt);
+  EXPECT_TRUE(isImpulseFree(sys));
+  ModeCensus mc = censusModes(sys);
+  EXPECT_EQ(mc.impulsive, 0u);
+  EXPECT_GT(mc.nondynamic, 0u);  // midnodes carry no capacitance
+}
+
+TEST(CircuitModels, ImpulsiveSectionsIncreaseImpulsiveCount) {
+  circuits::LadderOptions opt;
+  opt.sections = 9;
+  opt.capAtPort = true;
+  ModeCensus base = censusModes(circuits::makeRlcLadder(opt));
+  opt.impulsiveEvery = 3;
+  ModeCensus imp = censusModes(circuits::makeRlcLadder(opt));
+  EXPECT_GT(imp.impulsive, base.impulsive);
+}
+
+TEST(CircuitModels, CensusAddsUp) {
+  circuits::LadderOptions opt;
+  opt.sections = 6;
+  opt.impulsiveEvery = 2;
+  ModeCensus mc = censusModes(circuits::makeRlcLadder(opt));
+  EXPECT_EQ(mc.finite + mc.nondynamic + mc.impulsive, mc.order);
+}
+
+}  // namespace
+}  // namespace shhpass::ds

@@ -1,0 +1,110 @@
+// Tests for the passivity-margin extension and feedthrough enforcement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/generators.hpp"
+#include "core/margin.hpp"
+#include "ds/descriptor.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::core {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Margin, KnownFirstOrderSystem) {
+  // G(s) = 0.5 + 1/(s+1): min_w Re G = 0.5 (at w = inf), margin = 0.5.
+  ds::DescriptorSystem g;
+  g.e = Matrix{{1.0}};
+  g.a = Matrix{{-1.0}};
+  g.b = Matrix{{1.0}};
+  g.c = Matrix{{1.0}};
+  g.d = Matrix{{0.5}};
+  PassivityMargin pm = passivityMargin(g);
+  ASSERT_TRUE(pm.defined);
+  EXPECT_NEAR(pm.margin, 0.5, 1e-4);
+}
+
+TEST(Margin, NegativeForNonPassive) {
+  // G(s) = -0.25 + 1/(s+1): Re G(j inf) = -0.25, margin = -0.25.
+  ds::DescriptorSystem g;
+  g.e = Matrix{{1.0}};
+  g.a = Matrix{{-1.0}};
+  g.b = Matrix{{1.0}};
+  g.c = Matrix{{1.0}};
+  g.d = Matrix{{-0.25}};
+  PassivityMargin pm = passivityMargin(g);
+  ASSERT_TRUE(pm.defined);
+  EXPECT_NEAR(pm.margin, -0.25, 1e-4);
+}
+
+TEST(Margin, MatchesFrequencySweepOnLadder) {
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  opt.capAtPort = true;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  PassivityMargin pm = passivityMargin(g);
+  ASSERT_TRUE(pm.defined);
+  // Direct sweep reference (coarse).
+  double sweep = ds::popovMinEigenvalueDs(g, 0.0);
+  for (double w = 1e-2; w < 1e9; w *= 1.6)
+    sweep = std::min(sweep, ds::popovMinEigenvalueDs(g, w));
+  EXPECT_NEAR(pm.margin, sweep / 2.0, 1e-3 * (1.0 + std::abs(sweep)));
+  EXPECT_GE(pm.margin, -1e-9);  // passive ladder
+}
+
+TEST(Margin, ImpulsiveLadderStillDefined) {
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  PassivityMargin pm = passivityMargin(g);
+  EXPECT_TRUE(pm.defined);
+  EXPECT_GE(pm.margin, -1e-9);
+}
+
+TEST(Margin, UndefinedForStructuralDefects) {
+  PassivityMargin pm =
+      passivityMargin(circuits::makeNonPassiveIndefiniteM1());
+  EXPECT_FALSE(pm.defined);
+  EXPECT_EQ(pm.structuralDefect, FailureStage::M1NotPsd);
+}
+
+TEST(Margin, UndefinedForUnstable) {
+  ds::DescriptorSystem g;
+  g.e = Matrix{{1.0}};
+  g.a = Matrix{{1.0}};
+  g.b = Matrix{{1.0}};
+  g.c = Matrix{{1.0}};
+  g.d = Matrix{{1.0}};
+  PassivityMargin pm = passivityMargin(g);
+  EXPECT_FALSE(pm.defined);
+  EXPECT_EQ(pm.structuralDefect, FailureStage::UnstableFiniteModes);
+}
+
+TEST(Enforcement, RepairsNegativeFeedthrough) {
+  ds::DescriptorSystem bad = circuits::makeNonPassiveNegativeFeedthrough(3);
+  ASSERT_FALSE(testPassivityShh(bad).passive);
+  ds::DescriptorSystem fixed = enforcePassivity(bad, 1e-6);
+  EXPECT_TRUE(testPassivityShh(fixed).passive)
+      << failureStageName(testPassivityShh(fixed).failure);
+  // The repair is minimal-ish: the shift should be close to 0.02.
+  EXPECT_NEAR(fixed.d(0, 0) - bad.d(0, 0), 0.02, 5e-3);
+}
+
+TEST(Enforcement, PassiveInputUnchanged) {
+  circuits::LadderOptions opt;
+  opt.sections = 2;
+  opt.capAtPort = true;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ds::DescriptorSystem same = enforcePassivity(g);
+  EXPECT_EQ(same.d.maxAbs(), g.d.maxAbs());
+}
+
+TEST(Enforcement, ThrowsOnStructuralDefect) {
+  EXPECT_THROW(enforcePassivity(circuits::makeNonPassiveIndefiniteM1()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shhpass::core

@@ -1,0 +1,156 @@
+// Tests for the regular-system positive-realness test and the ARE solvers.
+#include <gtest/gtest.h>
+
+#include "control/are.hpp"
+#include "control/pr_test.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::control {
+namespace {
+
+using linalg::Matrix;
+using testing::expectMatrixNear;
+using testing::randomMatrix;
+using testing::randomStable;
+
+// A canonical passive RC one-port: G(s) = 1/(s+1) + r0.
+struct Rc1 {
+  Matrix a{{-1.0}};
+  Matrix b{{1.0}};
+  Matrix c{{1.0}};
+  Matrix d{{0.5}};
+};
+
+TEST(PrTest, PassiveFirstOrderIsPr) {
+  Rc1 sys;
+  PrTestResult r = testPositiveRealProper(sys.a, sys.b, sys.c, sys.d);
+  EXPECT_TRUE(r.stable);
+  EXPECT_TRUE(r.positiveReal);
+  EXPECT_TRUE(r.usedHamiltonian);
+}
+
+TEST(PrTest, NegatedSystemIsNotPr) {
+  Rc1 sys;
+  PrTestResult r =
+      testPositiveRealProper(sys.a, sys.b, -1.0 * sys.c, -1.0 * sys.d);
+  EXPECT_FALSE(r.positiveReal);
+}
+
+TEST(PrTest, UnstableSystemFails) {
+  PrTestResult r = testPositiveRealProper(Matrix{{1.0}}, Matrix{{1.0}},
+                                          Matrix{{1.0}}, Matrix{{1.0}});
+  EXPECT_FALSE(r.stable);
+  EXPECT_FALSE(r.positiveReal);
+}
+
+TEST(PrTest, IndefiniteFeedthroughFails) {
+  // D + D^T indefinite => G(j inf) + G^* not PSD => not PR.
+  Matrix a = randomStable(3, 401);
+  Matrix b = randomMatrix(3, 2, 402);
+  Matrix c = randomMatrix(2, 3, 403);
+  Matrix d{{-1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_FALSE(testPositiveRealProper(a, b, c, d).positiveReal);
+}
+
+TEST(PrTest, StaticSystem) {
+  Matrix empty;
+  EXPECT_TRUE(testPositiveRealProper(empty, Matrix(0, 1), Matrix(1, 0),
+                                     Matrix{{2.0}})
+                  .positiveReal);
+  EXPECT_FALSE(testPositiveRealProper(empty, Matrix(0, 1), Matrix(1, 0),
+                                      Matrix{{-2.0}})
+                   .positiveReal);
+}
+
+TEST(PrTest, LosslessLcTankViaSampling) {
+  // G(s) = s/(s^2+1) is lossless positive real but not stable in the strict
+  // Hurwitz sense (poles on the axis) — our test requires stability, so it
+  // reports failure through the stability gate. Shift the poles slightly:
+  // G(s) = s / (s^2 + 0.01 s + 1) is PR with D = 0 (singular R path).
+  Matrix a{{-0.01, -1.0}, {1.0, 0.0}};
+  Matrix b{{1.0}, {0.0}};
+  Matrix c{{1.0, 0.0}};
+  Matrix d{{0.0}};
+  PrTestResult r = testPositiveRealProper(a, b, c, d);
+  EXPECT_TRUE(r.stable);
+  EXPECT_TRUE(r.usedSampling);
+  EXPECT_TRUE(r.positiveReal);
+}
+
+TEST(PrTest, BandStopNegativeRealPartDetected) {
+  // G(s) = (s^2 - s + 1)/(s^2 + s + 1) has |G| = 1 but Re G(jw) < 0 near
+  // w = 1 (an all-pass-like non-PR example); D = 1 so R nonsingular.
+  Matrix a{{-1.0, -1.0}, {1.0, 0.0}};
+  Matrix b{{1.0}, {0.0}};
+  Matrix c{{-2.0, 0.0}};
+  Matrix d{{1.0}};
+  PrTestResult r = testPositiveRealProper(a, b, c, d);
+  EXPECT_TRUE(r.stable);
+  EXPECT_FALSE(r.positiveReal);
+}
+
+TEST(PopovEigenvalue, MatchesHandComputation) {
+  // G(s) = 1/(s+1): Re G(jw) = 1/(1+w^2); lambda_min(G+G^*) = 2/(1+w^2).
+  Rc1 sys;
+  const double at0 = popovMinEigenvalue(sys.a, sys.b, sys.c, sys.d, 0.0);
+  EXPECT_NEAR(at0, 2.0 * (0.5 + 1.0), 1e-10);
+  const double at1 = popovMinEigenvalue(sys.a, sys.b, sys.c, sys.d, 1.0);
+  EXPECT_NEAR(at1, 2.0 * (0.5 + 0.5), 1e-10);
+}
+
+TEST(Care, SolvesKnownScalar) {
+  // a=1? use: A^T X + X A - X G X + Q = 0 with A=-1, G=1, Q=3:
+  // -2x - x^2 + 3 = 0 -> x = 1 (stabilizing).
+  AreResult r = solveCare(Matrix{{-1.0}}, Matrix{{1.0}}, Matrix{{3.0}});
+  ASSERT_TRUE(r.ok);
+  EXPECT_NEAR(r.x(0, 0), 1.0, 1e-10);
+}
+
+TEST(Care, ResidualRandom) {
+  const std::size_t n = 5;
+  Matrix a = randomStable(n, 404);
+  Matrix b = randomMatrix(n, 2, 405);
+  Matrix g = linalg::abt(b, b);
+  Matrix cm = randomMatrix(2, n, 406);
+  Matrix q = linalg::atb(cm, cm);
+  AreResult r = solveCare(a, g, q);
+  ASSERT_TRUE(r.ok);
+  Matrix resid =
+      linalg::atb(a, r.x) + r.x * a - r.x * g * r.x + q;
+  EXPECT_LT(resid.maxAbs(), 1e-7 * std::max(1.0, q.maxAbs()));
+  EXPECT_TRUE(r.x.isSymmetric(1e-9 * std::max(1.0, r.x.maxAbs())));
+}
+
+TEST(PositiveRealAre, ResidualForPassiveSystem) {
+  Rc1 sys;
+  AreResult r = solvePositiveRealAre(sys.a, sys.b, sys.c, sys.d);
+  ASSERT_TRUE(r.ok);
+  // Check Eq. (5) residual directly.
+  Matrix rmat = sys.d + sys.d.transposed();
+  Matrix term = (r.x * sys.b - sys.c.transposed());
+  Matrix resid = linalg::atb(sys.a, r.x) + r.x * sys.a +
+                 term * linalg::solve(rmat, (sys.b.transposed() * r.x -
+                                             sys.c));
+  EXPECT_LT(resid.maxAbs(), 1e-9);
+  // Stabilizing solution of the PR Riccati is PSD for passive systems.
+  EXPECT_TRUE(linalg::isPositiveSemidefinite(r.x));
+}
+
+TEST(PositiveRealAre, FailsForNonPassive) {
+  Rc1 sys;
+  AreResult r =
+      solvePositiveRealAre(sys.a, sys.b, -1.0 * sys.c, Matrix{{0.1}});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(PositiveRealAre, SingularRThrows) {
+  Rc1 sys;
+  EXPECT_THROW(solvePositiveRealAre(sys.a, sys.b, sys.c, Matrix{{0.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shhpass::control

@@ -1,0 +1,136 @@
+// Unit tests for Householder QR, rank-revealing pivoting, and the
+// orthonormal basis helpers used by the deflation pipeline.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+using testing::expectMatrixNear;
+using testing::expectOrthonormalColumns;
+using testing::randomMatrix;
+using testing::randomRankDeficient;
+
+TEST(QRTest, ReconstructsSquare) {
+  Matrix a = randomMatrix(6, 6, 51);
+  QR qr(a);
+  expectMatrixNear(qr.thinQ() * qr.r(), a, 1e-12);
+  expectOrthonormalColumns(qr.thinQ());
+}
+
+TEST(QRTest, ReconstructsTallAndWide) {
+  Matrix tall = randomMatrix(8, 3, 52);
+  QR qt(tall);
+  expectMatrixNear(qt.thinQ() * qt.r(), tall, 1e-12);
+  expectOrthonormalColumns(qt.thinQ());
+
+  Matrix wide = randomMatrix(3, 8, 53);
+  QR qw(wide);
+  expectMatrixNear(qw.thinQ() * qw.r(), wide, 1e-12);
+}
+
+TEST(QRTest, FullQIsOrthogonal) {
+  Matrix a = randomMatrix(5, 2, 54);
+  Matrix q = QR(a).fullQ();
+  EXPECT_EQ(q.rows(), 5u);
+  EXPECT_EQ(q.cols(), 5u);
+  expectOrthonormalColumns(q);
+}
+
+TEST(QRTest, RUpperTriangular) {
+  Matrix a = randomMatrix(5, 5, 55);
+  Matrix r = QR(a).r();
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < i && j < r.cols(); ++j)
+      EXPECT_EQ(r(i, j), 0.0);
+}
+
+TEST(QRTest, PivotedReconstruction) {
+  Matrix a = randomMatrix(6, 4, 56);
+  QR qr(a, /*columnPivoting=*/true);
+  Matrix qrProd = qr.thinQ() * qr.r();
+  // qrProd equals A with columns permuted by perm.
+  const auto& p = qr.permutation();
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      EXPECT_NEAR(qrProd(i, j), a(i, p[j]), 1e-12);
+}
+
+TEST(QRTest, RankRevealing) {
+  Matrix a = randomRankDeficient(8, 6, 3, 57);
+  QR qr(a, true);
+  EXPECT_EQ(qr.rank(1e-10), 3u);
+  EXPECT_THROW(QR(a, false).rank(1e-10), std::logic_error);
+}
+
+TEST(QRTest, RankOfZeroMatrix) {
+  QR qr(Matrix::zeros(4, 3), true);
+  EXPECT_EQ(qr.rank(1e-12), 0u);
+}
+
+TEST(QRTest, LeastSquaresSolve) {
+  Matrix a = randomMatrix(7, 3, 58);
+  Matrix xTrue = randomMatrix(3, 2, 59);
+  Matrix b = a * xTrue;
+  Matrix x = QR(a).solve(b);
+  expectMatrixNear(x, xTrue, 1e-10);
+}
+
+TEST(QRTest, PivotedSolveRestoresOrder) {
+  Matrix a = randomMatrix(5, 5, 60);
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) += 4.0;
+  Matrix xTrue = randomMatrix(5, 1, 61);
+  Matrix x = QR(a, true).solve(a * xTrue);
+  expectMatrixNear(x, xTrue, 1e-9);
+}
+
+TEST(QRTest, ApplyQAndQtAreInverses) {
+  Matrix a = randomMatrix(6, 4, 62);
+  QR qr(a);
+  Matrix b = randomMatrix(6, 3, 63);
+  expectMatrixNear(qr.applyQ(qr.applyQt(b)), b, 1e-12);
+  expectMatrixNear(qr.applyQt(qr.applyQ(b)), b, 1e-12);
+}
+
+TEST(OrthonormalRange, SpansColumnSpace) {
+  Matrix a = randomRankDeficient(7, 5, 2, 64);
+  Matrix q = orthonormalRange(a, 1e-10);
+  EXPECT_EQ(q.cols(), 2u);
+  expectOrthonormalColumns(q);
+  // Projection of A onto range(Q) equals A.
+  Matrix proj = q * atb(q, a);
+  expectMatrixNear(proj, a, 1e-10);
+}
+
+TEST(OrthonormalRange, EmptyInput) {
+  Matrix q = orthonormalRange(Matrix(5, 0));
+  EXPECT_EQ(q.rows(), 5u);
+  EXPECT_EQ(q.cols(), 0u);
+}
+
+TEST(OrthonormalComplement, CompletesBasis) {
+  Matrix a = randomMatrix(6, 2, 65);
+  Matrix v = orthonormalRange(a);
+  Matrix w = orthonormalComplement(v);
+  EXPECT_EQ(w.cols(), 4u);
+  Matrix full = hcat(v, w);
+  expectOrthonormalColumns(full);
+}
+
+TEST(OrthonormalComplement, FullBasisGivesEmpty) {
+  Matrix v = QR(randomMatrix(4, 4, 66)).thinQ();
+  EXPECT_EQ(orthonormalComplement(v).cols(), 0u);
+}
+
+TEST(OrthonormalComplement, EmptyGivesIdentity) {
+  expectMatrixNear(orthonormalComplement(Matrix(3, 0)), Matrix::identity(3),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace shhpass::linalg

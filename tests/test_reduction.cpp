@@ -1,0 +1,125 @@
+// Tests for descriptor model order reduction on top of the SHH pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuits/generators.hpp"
+#include "core/passivity_test.hpp"
+#include "core/markov.hpp"
+#include "core/reduction.hpp"
+#include "ds/impulse_tests.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::core {
+namespace {
+
+using linalg::Matrix;
+
+double worstAxisError(const ds::DescriptorSystem& a,
+                      const ds::DescriptorSystem& b) {
+  double worst = 0.0;
+  for (double w : {0.0, 1e2, 1e4, 1e6}) {
+    ds::TransferValue ga = ds::evalTransfer(a, 0.0, w);
+    ds::TransferValue gb = ds::evalTransfer(b, 0.0, w);
+    const double scale = std::max(1.0, ga.re.maxAbs() + ga.im.maxAbs());
+    worst = std::max(worst, ((ga.re - gb.re).maxAbs() +
+                             (ga.im - gb.im).maxAbs()) /
+                                scale);
+  }
+  return worst;
+}
+
+TEST(Reduction, FullOrderReproducesTransfer) {
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ReducedModel rom = reduceDescriptor(g, 100);  // no truncation
+  ASSERT_TRUE(rom.ok);
+  EXPECT_LT(worstAxisError(g, rom.sys), 1e-6);
+}
+
+TEST(Reduction, HankelValuesDescendingAndPositive) {
+  circuits::LadderOptions opt;
+  opt.sections = 5;
+  opt.capAtPort = true;
+  ReducedModel rom = reduceDescriptor(circuits::makeRlcLadder(opt), 100);
+  ASSERT_TRUE(rom.ok);
+  EXPECT_TRUE(std::is_sorted(rom.hankel.rbegin(), rom.hankel.rend()));
+  for (double h : rom.hankel) EXPECT_GT(h, 0.0);
+}
+
+TEST(Reduction, TruncationKeepsAccuracyAndPassivity) {
+  // Strongly damped RC-dominant ladder: fast Hankel decay, so a deep
+  // truncation stays accurate.
+  circuits::LadderOptions opt;
+  opt.sections = 6;
+  opt.capAtPort = true;
+  opt.r = 5.0;
+  opt.l = 1e-5;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ReducedModel rom = reduceDescriptor(g, 6);
+  ASSERT_TRUE(rom.ok);
+  EXPECT_EQ(rom.properOrder, 6u);
+  EXPECT_LT(rom.sys.order(), g.order());
+  EXPECT_LT(worstAxisError(g, rom.sys), 0.05);
+  // The reduced model is itself a passive descriptor system.
+  PassivityResult pr = testPassivityShh(rom.sys);
+  EXPECT_TRUE(pr.passive) << failureStageName(pr.failure);
+}
+
+TEST(Reduction, ErrorShrinksWithRetainedOrder) {
+  circuits::LadderOptions opt;
+  opt.sections = 6;
+  opt.capAtPort = true;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ReducedModel coarse = reduceDescriptor(g, 4);
+  ReducedModel fine = reduceDescriptor(g, 11);
+  ASSERT_TRUE(coarse.ok);
+  ASSERT_TRUE(fine.ok);
+  EXPECT_LT(worstAxisError(g, fine.sys),
+            worstAxisError(g, coarse.sys) + 1e-12);
+}
+
+TEST(Reduction, ImpulsivePartPreservedExactly) {
+  circuits::LadderOptions opt;
+  opt.sections = 4;
+  opt.l = 2.2e-3;  // port inductor: M1 = l
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ReducedModel rom = reduceDescriptor(g, 4);
+  ASSERT_TRUE(rom.ok);
+  EXPECT_EQ(rom.impulsiveRank, 1u);
+  // The reduced DS must still be impulsive with the same M1.
+  M1Extraction m1 = extractM1(rom.sys);
+  EXPECT_EQ(m1.chainCount, 1u);
+  EXPECT_NEAR(m1.m1(0, 0), opt.l, 1e-9);
+  // And at high frequency Im G ~ w * l for both models.
+  const double w = 1e7;
+  ds::TransferValue gv = ds::evalTransfer(g, 0.0, w);
+  ds::TransferValue rv = ds::evalTransfer(rom.sys, 0.0, w);
+  EXPECT_NEAR(gv.im(0, 0) / w, rv.im(0, 0) / w, 1e-6);
+}
+
+TEST(Reduction, HsvToleranceDropsStates) {
+  // The damped ladder has fast HSV decay, so a mild tolerance truncates.
+  circuits::LadderOptions opt;
+  opt.sections = 6;
+  opt.capAtPort = true;
+  opt.r = 5.0;
+  opt.l = 1e-5;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ReducedModel loose = reduceDescriptor(g, 100, 1e-3);
+  ReducedModel full = reduceDescriptor(g, 100, 0.0);
+  ASSERT_TRUE(loose.ok);
+  ASSERT_TRUE(full.ok);
+  EXPECT_LT(loose.properOrder, full.properOrder);
+}
+
+TEST(Reduction, FailsGracefullyOnDefectiveInput) {
+  ReducedModel rom =
+      reduceDescriptor(circuits::makeNonPassiveHigherOrderImpulse(), 4);
+  EXPECT_FALSE(rom.ok);
+}
+
+}  // namespace
+}  // namespace shhpass::core

@@ -1,0 +1,248 @@
+// Tests for Hessenberg reduction, real Schur decomposition, reordering,
+// and the symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+
+#include "linalg/blas.hpp"
+#include "linalg/hessenberg.hpp"
+#include "linalg/schur.hpp"
+#include "linalg/schur_reorder.hpp"
+#include "linalg/symmetric_eig.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+using testing::expectMatrixNear;
+using testing::expectOrthonormalColumns;
+using testing::randomMatrix;
+using testing::randomStable;
+using testing::randomSymmetric;
+
+void expectQuasiTriangular(const Matrix& t) {
+  for (std::size_t i = 2; i < t.rows(); ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j)
+      EXPECT_EQ(t(i, j), 0.0) << "entry (" << i << "," << j << ")";
+  // No two consecutive nonzero subdiagonals.
+  for (std::size_t i = 0; i + 2 < t.rows(); ++i)
+    EXPECT_FALSE(t(i + 1, i) != 0.0 && t(i + 2, i + 1) != 0.0)
+        << "consecutive subdiagonals at " << i;
+}
+
+std::vector<std::complex<double>> sorted(std::vector<std::complex<double>> v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+  return v;
+}
+
+void expectSameSpectrum(std::vector<std::complex<double>> a,
+                        std::vector<std::complex<double>> b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  a = sorted(std::move(a));
+  b = sorted(std::move(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "eig " << i;
+    EXPECT_NEAR(std::abs(a[i].imag()), std::abs(b[i].imag()), tol)
+        << "eig " << i;
+  }
+}
+
+TEST(Hessenberg, ReducesAndReconstructs) {
+  Matrix a = randomMatrix(8, 8, 101);
+  HessenbergResult hr = hessenberg(a);
+  expectOrthonormalColumns(hr.q);
+  for (std::size_t i = 2; i < 8; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j) EXPECT_EQ(hr.h(i, j), 0.0);
+  expectMatrixNear(hr.q * hr.h * hr.q.transposed(), a, 1e-11);
+}
+
+TEST(Hessenberg, SmallMatricesPassThrough) {
+  Matrix a = randomMatrix(2, 2, 102);
+  HessenbergResult hr = hessenberg(a);
+  expectMatrixNear(hr.h, a, 0.0);
+  expectMatrixNear(hr.q, Matrix::identity(2), 0.0);
+}
+
+TEST(RealSchur, DiagonalizableReal) {
+  // Triangular matrix with known eigenvalues, rotated by similarity.
+  Matrix t{{1, 5, -3}, {0, 2, 7}, {0, 0, -4}};
+  RealSchurResult rs = realSchur(t);
+  expectSameSpectrum(rs.eigenvalues, {{1, 0}, {2, 0}, {-4, 0}}, 1e-10);
+}
+
+TEST(RealSchur, ComplexPair) {
+  // Rotation-like block has eigenvalues 1 +/- 2i.
+  Matrix a{{1, 2}, {-2, 1}};
+  RealSchurResult rs = realSchur(a);
+  expectSameSpectrum(rs.eigenvalues, {{1, 2}, {1, -2}}, 1e-12);
+}
+
+TEST(RealSchur, ReconstructionAndStructure) {
+  Matrix a = randomMatrix(10, 10, 103);
+  RealSchurResult rs = realSchur(a);
+  expectOrthonormalColumns(rs.q);
+  expectQuasiTriangular(rs.t);
+  expectMatrixNear(rs.q * rs.t * rs.q.transposed(), a, 1e-10);
+}
+
+TEST(RealSchur, EigenvaluesMatchQuasiTriangularExtraction) {
+  Matrix a = randomMatrix(9, 9, 104);
+  RealSchurResult rs = realSchur(a);
+  expectSameSpectrum(rs.eigenvalues, quasiTriangularEigenvalues(rs.t), 1e-8);
+}
+
+TEST(RealSchur, TraceAndDeterminantInvariants) {
+  Matrix a = randomMatrix(7, 7, 105);
+  RealSchurResult rs = realSchur(a);
+  std::complex<double> sum{0, 0};
+  for (const auto& l : rs.eigenvalues) sum += l;
+  EXPECT_NEAR(sum.real(), a.trace(), 1e-9);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-9);
+}
+
+TEST(RealSchur, StableMatrixHasNegativeRealParts) {
+  Matrix a = randomStable(8, 106);
+  for (const auto& l : eigenvalues(a)) EXPECT_LT(l.real(), 0.0);
+}
+
+// Property sweep across sizes.
+class SchurSweep : public ::testing::TestWithParam<std::tuple<int, unsigned>> {
+};
+
+TEST_P(SchurSweep, FactorizationHolds) {
+  const auto [n, seed] = GetParam();
+  Matrix a = randomMatrix(n, n, seed);
+  RealSchurResult rs = realSchur(a);
+  expectOrthonormalColumns(rs.q, 1e-9);
+  expectQuasiTriangular(rs.t);
+  expectMatrixNear(rs.q * rs.t * rs.q.transposed(), a,
+                   1e-9 * std::max(1.0, a.maxAbs()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SchurSweep,
+    ::testing::Values(std::make_tuple(1, 110), std::make_tuple(2, 111),
+                      std::make_tuple(3, 112), std::make_tuple(5, 113),
+                      std::make_tuple(12, 114), std::make_tuple(16, 115),
+                      std::make_tuple(25, 116), std::make_tuple(40, 117)));
+
+TEST(SchurReorder, MovesSelectedRealEigenvalueFirst) {
+  Matrix a{{1, 4, 2}, {0, 5, -1}, {0, 0, -3}};
+  RealSchurResult rs = realSchur(a);
+  const std::size_t k = reorderSchur(
+      rs.t, rs.q, [](std::complex<double> l) { return l.real() < 0; });
+  EXPECT_EQ(k, 1u);
+  EXPECT_NEAR(rs.t(0, 0), -3.0, 1e-10);
+  expectMatrixNear(rs.q * rs.t * rs.q.transposed(), a, 1e-10);
+}
+
+TEST(SchurReorder, StableSubspaceIsInvariant) {
+  Matrix a = randomMatrix(10, 10, 120);
+  RealSchurResult rs = realSchur(a);
+  const auto select = [](std::complex<double> l) { return l.real() < 0; };
+  const std::size_t k = reorderSchur(rs.t, rs.q, select);
+  // Count expected stable eigenvalues.
+  std::size_t expected = 0;
+  for (const auto& l : eigenvalues(a))
+    if (l.real() < 0) ++expected;
+  EXPECT_EQ(k, expected);
+  // Leading k columns of q span an invariant subspace: A X = X T11.
+  if (k > 0) {
+    Matrix x = rs.q.block(0, 0, 10, k);
+    Matrix t11 = rs.t.block(0, 0, k, k);
+    expectMatrixNear(a * x, x * t11, 1e-8);
+    // All leading eigenvalues stable, trailing antistable.
+    auto eigT = quasiTriangularEigenvalues(rs.t);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_LT(eigT[i].real(), 0.0);
+    for (std::size_t i = k; i < 10; ++i) EXPECT_GE(eigT[i].real(), 0.0);
+  }
+}
+
+TEST(SchurReorder, PreservesSpectrumAndSimilarity) {
+  Matrix a = randomMatrix(12, 12, 121);
+  RealSchurResult rs = realSchur(a);
+  auto before = sorted(rs.eigenvalues);
+  reorderSchur(rs.t, rs.q,
+               [](std::complex<double> l) { return std::abs(l) > 1.0; });
+  expectMatrixNear(rs.q * rs.t * rs.q.transposed(), a, 1e-8);
+  expectOrthonormalColumns(rs.q, 1e-9);
+  expectSameSpectrum(before, quasiTriangularEigenvalues(rs.t), 1e-7);
+}
+
+TEST(SchurReorder, ComplexPairMovesAtomically) {
+  // Block diag: eigenvalue 3 first, complex pair -1 +/- 2i second.
+  Matrix a{{3, 1, 2}, {0, -1, 2}, {0, -2, -1}};
+  RealSchurResult rs = realSchur(a);
+  const std::size_t k = reorderSchur(
+      rs.t, rs.q, [](std::complex<double> l) { return l.real() < 0; });
+  EXPECT_EQ(k, 2u);
+  // Leading 2x2 block carries the complex pair.
+  auto eigT = quasiTriangularEigenvalues(rs.t);
+  EXPECT_NEAR(eigT[0].real(), -1.0, 1e-9);
+  EXPECT_NEAR(std::abs(eigT[0].imag()), 2.0, 1e-9);
+  EXPECT_NEAR(eigT[2].real(), 3.0, 1e-9);
+  expectMatrixNear(rs.q * rs.t * rs.q.transposed(), a, 1e-9);
+}
+
+TEST(SchurReorder, NoSelectionIsNoOp) {
+  Matrix a = randomMatrix(6, 6, 122);
+  RealSchurResult rs = realSchur(a);
+  Matrix tBefore = rs.t;
+  const std::size_t k =
+      reorderSchur(rs.t, rs.q, [](std::complex<double>) { return false; });
+  EXPECT_EQ(k, 0u);
+  expectMatrixNear(rs.t, tBefore, 0.0);
+}
+
+TEST(SchurReorder, AllSelectedCountsFullDimension) {
+  Matrix a = randomMatrix(6, 6, 123);
+  RealSchurResult rs = realSchur(a);
+  const std::size_t k =
+      reorderSchur(rs.t, rs.q, [](std::complex<double>) { return true; });
+  EXPECT_EQ(k, 6u);
+}
+
+TEST(SymmetricEigTest, KnownSpectrum) {
+  Matrix a{{2, 1}, {1, 2}};
+  SymmetricEig eig(a);
+  EXPECT_NEAR(eig.eigenvalues()[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues()[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigTest, DecompositionHolds) {
+  Matrix a = randomSymmetric(9, 130);
+  SymmetricEig eig(a);
+  const Matrix& v = eig.eigenvectors();
+  expectOrthonormalColumns(v);
+  Matrix vd = v;
+  for (std::size_t j = 0; j < 9; ++j)
+    for (std::size_t i = 0; i < 9; ++i) vd(i, j) *= eig.eigenvalues()[j];
+  expectMatrixNear(vd * v.transposed(), a, 1e-10);
+}
+
+TEST(SymmetricEigTest, EigenvaluesSortedAscending) {
+  SymmetricEig eig(randomSymmetric(12, 131));
+  EXPECT_TRUE(std::is_sorted(eig.eigenvalues().begin(),
+                             eig.eigenvalues().end()));
+}
+
+TEST(SymmetricEigTest, ValuesOnlyModeMatches) {
+  Matrix a = randomSymmetric(8, 132);
+  SymmetricEig full(a, true), vals(a, false);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(full.eigenvalues()[i], vals.eigenvalues()[i], 1e-12);
+}
+
+TEST(SymmetricEigTest, OneByOneAndEmpty) {
+  SymmetricEig one(Matrix{{5.0}});
+  EXPECT_DOUBLE_EQ(one.eigenvalues()[0], 5.0);
+  SymmetricEig empty(Matrix{});
+  EXPECT_TRUE(empty.eigenvalues().empty());
+}
+
+}  // namespace
+}  // namespace shhpass::linalg

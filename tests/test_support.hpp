@@ -1,0 +1,74 @@
+// Shared helpers for shhpass tests: deterministic random matrices and
+// common structural assertions.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/blas.hpp"
+#include "linalg/matrix.hpp"
+
+namespace shhpass::testing {
+
+using linalg::Matrix;
+
+/// Deterministic uniform [-1, 1] random matrix.
+inline Matrix randomMatrix(std::size_t r, std::size_t c, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = dist(gen);
+  return m;
+}
+
+/// Random symmetric matrix.
+inline Matrix randomSymmetric(std::size_t n, unsigned seed) {
+  Matrix m = randomMatrix(n, n, seed);
+  Matrix s = m + m.transposed();
+  s *= 0.5;
+  return s;
+}
+
+/// Random symmetric positive definite matrix (A^T A + I).
+inline Matrix randomSpd(std::size_t n, unsigned seed) {
+  Matrix m = randomMatrix(n, n, seed);
+  Matrix s = linalg::atb(m, m);
+  for (std::size_t i = 0; i < n; ++i) s(i, i) += 1.0 + static_cast<double>(n);
+  return s;
+}
+
+/// Random matrix of exact rank r (product of n x r and r x m factors).
+inline Matrix randomRankDeficient(std::size_t n, std::size_t m, std::size_t r,
+                                  unsigned seed) {
+  return randomMatrix(n, r, seed) * randomMatrix(r, m, seed + 1);
+}
+
+/// Random Hurwitz-stable matrix: -(A^T A) - margin*I rotated by similarity.
+inline Matrix randomStable(std::size_t n, unsigned seed, double margin = 0.1) {
+  Matrix m = randomMatrix(n, n, seed);
+  Matrix s = linalg::atb(m, m);
+  Matrix a = -1.0 * s;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) -= margin;
+  // Mix with a skew part to get complex eigenvalues while staying stable:
+  Matrix k = randomMatrix(n, n, seed + 7);
+  Matrix skew = k - k.transposed();
+  return a + 0.5 * skew;
+}
+
+inline void expectOrthonormalColumns(const Matrix& q, double tol = 1e-10) {
+  const Matrix gram = linalg::atb(q, q);
+  EXPECT_TRUE(gram.approxEqual(Matrix::identity(q.cols()), tol))
+      << "columns not orthonormal; max dev "
+      << (gram - Matrix::identity(q.cols())).maxAbs();
+}
+
+inline void expectMatrixNear(const Matrix& a, const Matrix& b,
+                             double tol = 1e-10) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_TRUE(a.approxEqual(b, tol)) << "max dev " << (a - b).maxAbs();
+}
+
+}  // namespace shhpass::testing

@@ -1,0 +1,102 @@
+// Tests for the Bartels-Stewart Sylvester and Lyapunov solvers.
+#include <gtest/gtest.h>
+
+#include "control/lyapunov.hpp"
+#include "control/sylvester.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/schur.hpp"
+#include "linalg/symmetric_eig.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::control {
+namespace {
+
+using linalg::Matrix;
+using testing::expectMatrixNear;
+using testing::randomMatrix;
+using testing::randomStable;
+using testing::randomSymmetric;
+
+TEST(Sylvester, SolvesKnownSmall) {
+  Matrix a{{1, 0}, {0, 2}};
+  Matrix b{{3, 0}, {0, 4}};
+  // With diagonal coefficients, x_ij = c_ij / (a_ii + b_jj).
+  Matrix c{{4, 5}, {5, 6}};
+  Matrix x = solveSylvester(a, b, c);
+  expectMatrixNear(x, Matrix{{1, 1}, {1, 1}}, 1e-12);
+}
+
+TEST(Sylvester, ResidualRandomSquare) {
+  Matrix a = randomStable(8, 201);
+  Matrix b = randomStable(8, 202);
+  Matrix c = randomMatrix(8, 8, 203);
+  Matrix x = solveSylvester(a, b, c);
+  expectMatrixNear(a * x + x * b, c, 1e-8 * std::max(1.0, c.maxAbs()));
+}
+
+TEST(Sylvester, RectangularUnknown) {
+  Matrix a = randomStable(6, 204);
+  Matrix b = randomStable(3, 205);
+  Matrix c = randomMatrix(6, 3, 206);
+  Matrix x = solveSylvester(a, b, c);
+  EXPECT_EQ(x.rows(), 6u);
+  EXPECT_EQ(x.cols(), 3u);
+  expectMatrixNear(a * x + x * b, c, 1e-9);
+}
+
+TEST(Sylvester, ComplexSpectraCoefficients) {
+  // Rotation-heavy coefficients exercise the 2x2-block path.
+  Matrix a{{-1, 5}, {-5, -1}};
+  Matrix b{{-2, 7, 0}, {-7, -2, 0}, {0, 0, -3}};
+  Matrix c = randomMatrix(2, 3, 207);
+  Matrix x = solveSylvester(a, b, c);
+  expectMatrixNear(a * x + x * b, c, 1e-10);
+}
+
+TEST(Sylvester, SingularWhenSpectraOverlap) {
+  // spec(A) = {1}, spec(-B) = {1}: singular equation.
+  Matrix a{{1.0}};
+  Matrix b{{-1.0}};
+  Matrix c{{1.0}};
+  EXPECT_THROW(solveSylvester(a, b, c), std::runtime_error);
+}
+
+TEST(Sylvester, QuasiTriangularDirect) {
+  Matrix s = linalg::realSchur(randomStable(7, 208)).t;
+  Matrix t = linalg::realSchur(randomStable(5, 209)).t;
+  Matrix f = randomMatrix(7, 5, 210);
+  Matrix y = solveSylvesterQuasiTriangular(s, t, f);
+  expectMatrixNear(s * y + y * t, f, 1e-9);
+}
+
+TEST(Sylvester, EmptyDimensions) {
+  Matrix x = solveSylvester(Matrix{}, Matrix{}, Matrix{});
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(Lyapunov, ResidualAndSymmetry) {
+  Matrix a = randomStable(9, 211);
+  Matrix q = randomSymmetric(9, 212);
+  Matrix y = solveLyapunov(a, q);
+  EXPECT_TRUE(y.isSymmetric(1e-9 * std::max(1.0, y.maxAbs())));
+  Matrix resid = a * y + y * a.transposed() + q;
+  EXPECT_LT(resid.maxAbs(), 1e-8 * std::max(1.0, q.maxAbs()));
+}
+
+TEST(Lyapunov, GramianIsPsdForStableSystem) {
+  // Controllability Gramian: A W + W A^T + B B^T = 0 with A stable => W >= 0.
+  Matrix a = randomStable(6, 213);
+  Matrix b = randomMatrix(6, 2, 214);
+  Matrix w = solveLyapunov(a, linalg::abt(b, b));
+  linalg::SymmetricEig eig(w, false);
+  EXPECT_GE(eig.eigenvalues().front(), -1e-10);
+}
+
+TEST(Lyapunov, KnownScalar) {
+  // a y + y a + q = 0 with a = -2, q = 8 -> y = 2.
+  Matrix y = solveLyapunov(Matrix{{-2.0}}, Matrix{{8.0}});
+  EXPECT_NEAR(y(0, 0), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace shhpass::control
