@@ -1,7 +1,8 @@
 // Diagnosing impulsive (infinite-frequency) structure in descriptor
-// models: mode census, impulse controllability/observability, pencil
-// index, and how each kind of defect shows up in the passivity verdict.
-// Walks through four models:
+// models through the unified public API: mode census, impulse
+// controllability/observability, pencil index, and how each kind of defect
+// shows up in the analyzer's verdict and error code. Walks through four
+// models:
 //   1. a healthy impulse-free ladder,
 //   2. a passive impulsive ladder (PSD residue at infinity),
 //   3. a mutant with an indefinite M1 (impulsive energy "source"),
@@ -10,16 +11,15 @@
 //   $ ./impulsive_diagnosis
 #include <cstdio>
 
-#include "circuits/generators.hpp"
+#include "api/shhpass.hpp"
 #include "core/markov.hpp"
-#include "core/passivity_test.hpp"
-#include "ds/impulse_tests.hpp"
 
 namespace {
 
 using namespace shhpass;
 
-void report(const char* name, const ds::DescriptorSystem& g) {
+void report(const char* name, const ds::DescriptorSystem& g,
+            const api::PassivityAnalyzer& analyzer) {
   ds::ModeCensus mc = ds::censusModes(g);
   std::printf("== %s ==\n", name);
   std::printf("   order %zu: %zu finite, %zu nondynamic, %zu impulsive;"
@@ -33,31 +33,39 @@ void report(const char* name, const ds::DescriptorSystem& g) {
   core::M1Extraction m1 = core::extractM1(g);
   std::printf("   M1: %zu chain(s), symmetric %s, PSD %s\n", m1.chainCount,
               m1.symmetric ? "yes" : "no ", m1.psd ? "yes" : "no ");
-  core::PassivityResult r = core::testPassivityShh(g);
-  std::printf("   => %s (%s)\n\n", r.passive ? "PASSIVE" : "NOT PASSIVE",
-              core::failureStageName(r.failure).c_str());
+  api::Result<api::AnalysisReport> r = analyzer.analyze(g);
+  if (!r.ok()) {
+    std::printf("   => ANALYSIS ERROR (%s)\n\n",
+                r.status().toString().c_str());
+    return;
+  }
+  std::printf("   => %s (code %s: %s)\n\n",
+              r->passive ? "PASSIVE" : "NOT PASSIVE",
+              api::errorCodeName(r->verdict), r->verdictMessage.c_str());
 }
 
 }  // namespace
 
 int main() {
   using namespace shhpass;
+  api::PassivityAnalyzer analyzer;
 
   circuits::LadderOptions healthy;
   healthy.sections = 3;
   healthy.capAtPort = true;
-  report("impulse-free RLC ladder", circuits::makeRlcLadder(healthy));
+  report("impulse-free RLC ladder", circuits::makeRlcLadder(healthy),
+         analyzer);
 
   circuits::LadderOptions impulsive;
   impulsive.sections = 3;
   impulsive.capAtPort = false;
   report("impulsive RLC ladder (M1 = L at the port)",
-         circuits::makeRlcLadder(impulsive));
+         circuits::makeRlcLadder(impulsive), analyzer);
 
   report("indefinite-M1 mutant (impulsive energy source)",
-         circuits::makeNonPassiveIndefiniteM1());
+         circuits::makeNonPassiveIndefiniteM1(), analyzer);
 
   report("grade-3 chain mutant (s^2 Markov term)",
-         circuits::makeNonPassiveHigherOrderImpulse());
+         circuits::makeNonPassiveHigherOrderImpulse(), analyzer);
   return 0;
 }

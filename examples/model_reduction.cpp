@@ -1,16 +1,14 @@
 // Descriptor model order reduction on top of the SHH framework (the
 // paper's Sec.-4 outlook): reduce an RLC interconnect model while
 // preserving the impulsive (infinite-frequency) behavior EXACTLY and
-// certifying the reduced model passive with the proposed test.
+// certifying the reduced model passive through the unified public API.
 //
 //   $ ./model_reduction [properOrder]
 #include <cstdio>
 #include <cstdlib>
 
-#include "circuits/generators.hpp"
-#include "core/passivity_test.hpp"
+#include "api/shhpass.hpp"
 #include "core/reduction.hpp"
-#include "ds/descriptor.hpp"
 
 int main(int argc, char** argv) {
   using namespace shhpass;
@@ -46,12 +44,17 @@ int main(int argc, char** argv) {
                 std::abs(za - zb) / std::max(1.0, za));
   }
 
-  core::PassivityResult pr = core::testPassivityShh(rom.sys);
+  api::PassivityAnalyzer analyzer;
+  api::Result<api::AnalysisReport> pr = analyzer.analyze(rom.sys);
+  if (!pr.ok()) {
+    std::printf("\nanalysis failed: %s\n", pr.status().toString().c_str());
+    return 1;
+  }
   std::printf("\nreduced model passive: %s (%s)\n",
-              pr.passive ? "YES" : "NO",
-              core::failureStageName(pr.failure).c_str());
-  if (pr.m1.rows() > 0)
+              pr->passive ? "YES" : "NO",
+              api::errorCodeName(pr->verdict));
+  if (pr->m1.rows() > 0)
     std::printf("reduced-model M1 = %.6e (original l = %.6e)\n",
-                pr.m1(0, 0), opt.l);
-  return pr.passive ? 0 : 1;
+                pr->m1(0, 0), opt.l);
+  return pr->passive ? 0 : 1;
 }

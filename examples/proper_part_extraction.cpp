@@ -1,6 +1,8 @@
 // The paper's "sidetrack": the SHH pipeline conveniently decouples the
 // stable proper part of a passive descriptor system along the way. This
-// example extracts it and verifies pointwise that
+// example runs the stage-pipeline engine directly — with a diagnostic
+// observer printing each Fig.-1 stage as it completes — then reads the
+// extracted proper part off the pipeline state and verifies pointwise that
 //     Phi(jw) = Hp(jw) + Hp(jw)^*
 // where Hp is the extracted regular (nonsingular-E) system — i.e. the
 // infinite-frequency structure has been cleanly split off by orthogonal
@@ -10,12 +12,7 @@
 //   $ ./proper_part_extraction
 #include <cstdio>
 
-#include "circuits/generators.hpp"
-#include "core/impulse_deflation.hpp"
-#include "core/nondynamic.hpp"
-#include "core/phi_builder.hpp"
-#include "core/proper_part.hpp"
-#include "ds/balance.hpp"
+#include "api/shhpass.hpp"
 #include "linalg/schur.hpp"
 
 int main() {
@@ -28,34 +25,38 @@ int main() {
   ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
   std::printf("original descriptor order: %zu (singular E)\n", g.order());
 
-  ds::BalancedSystem bal = ds::balanceDescriptor(g);
-  shh::ShhRealization phi = core::buildPhi(bal.sys);
-  core::ImpulseDeflationResult s1 = core::deflateImpulseModes(phi);
-  core::NondynamicRemovalResult s2 = core::removeNondynamicModes(s1.reduced);
-  if (!s2.impulseFree) {
-    std::printf("unexpected: residual impulses\n");
-    return 1;
-  }
-  core::ProperPartResult pp = core::extractProperPart(s2.shh);
-  if (!pp.ok) {
-    std::printf("unexpected: axis modes\n");
+  // Drive the Fig.-1 stage pipeline directly, watching stages go by.
+  api::Pipeline pipeline = api::Pipeline::standard();
+  api::PipelineState state;
+  state.input = &g;
+  api::Status status =
+      pipeline.run(state, nullptr, [](const api::StageTrace& t) {
+        std::printf("  stage %-20s %-8s (%.4f s)\n", t.name.c_str(),
+                    api::errorCodeName(t.status.code()), t.seconds);
+      });
+  if (!status.ok()) {
+    std::printf("unexpected: %s\n", status.toString().c_str());
     return 1;
   }
 
+  const core::ProperPartResult& pp = state.result.properPart;
   std::printf("extracted stable proper part: order %zu (regular E = I)\n",
               pp.lambda.rows());
   std::printf("poles of the proper part:\n");
   for (const auto& l : linalg::eigenvalues(pp.lambda))
     std::printf("   %12.5e %+12.5ei\n", l.real(), l.imag());
 
-  // Pointwise verification: Phi(jw) = 2 * Herm(Hp(jw)).
+  // Pointwise verification: Phi(jw) = 2 * Herm(Hp(jw)). The proper part
+  // lives in the BALANCED frequency coordinates, so compare against the
+  // balanced system the pipeline actually processed.
   ds::DescriptorSystem hp;
   hp.e = Matrix::identity(pp.lambda.rows());
   hp.a = pp.lambda;
   hp.b = pp.b1;
   hp.c = pp.c1;
   hp.d = pp.dHalf;
-  ds::DescriptorSystem phiRef = ds::add(bal.sys, ds::adjoint(bal.sys));
+  const ds::DescriptorSystem& gb = state.balanced.sys;
+  ds::DescriptorSystem phiRef = ds::add(gb, ds::adjoint(gb));
   std::printf("\n%-12s %-16s %-16s %-10s\n", "omega", "Phi(jw)",
               "Hp+Hp* (jw)", "rel.err");
   double worst = 0.0;

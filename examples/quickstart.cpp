@@ -1,5 +1,8 @@
-// Quickstart: stamp a tiny RLC one-port into descriptor form, run the
-// proposed SHH passivity test, and read the verdict with its diagnostics.
+// Quickstart against the unified shhpass public API: stamp a tiny RLC
+// one-port into descriptor form, run it through the PassivityAnalyzer
+// engine, print the JSON decision path — then analyze a batch of generated
+// RLC interconnects on the internal thread pool and check the batch
+// reports agree with sequential single-shot runs.
 //
 //   $ ./quickstart
 //
@@ -7,16 +10,17 @@
 // impedance Z(s) = s*L + R/(1 + s*R*C). The series inductor at the port
 // makes the stamped descriptor system IMPULSIVE (Z has a pole at infinity)
 // with residue M1 = L, which the test must extract and certify PSD.
+//
+// Everything below uses only the api/shhpass.hpp umbrella header.
 #include <cstdio>
+#include <vector>
 
-#include "circuits/mna.hpp"
-#include "circuits/netlist.hpp"
-#include "core/passivity_test.hpp"
-#include "ds/impulse_tests.hpp"
+#include "api/shhpass.hpp"
 
 int main() {
   using namespace shhpass;
 
+  // --- Single-shot analysis -----------------------------------------
   const double R = 2.0, L = 0.5, C = 0.25;
   circuits::Netlist net(2);
   net.addInductor(1, 2, L);
@@ -25,24 +29,65 @@ int main() {
   net.addPort(1);
   ds::DescriptorSystem g = circuits::stampMna(net);
 
-  ds::ModeCensus census = ds::censusModes(g);
-  std::printf("descriptor system: order %zu = %zu finite + %zu nondynamic "
-              "+ %zu impulsive modes\n",
-              census.order, census.finite, census.nondynamic,
-              census.impulsive);
-  std::printf("impulse-free: %s\n", ds::isImpulseFree(g) ? "yes" : "no");
-
-  core::PassivityResult r = core::testPassivityShh(g);
-  std::printf("passive:             %s\n", r.passive ? "YES" : "NO");
-  std::printf("failure stage:       %s\n",
-              core::failureStageName(r.failure).c_str());
+  api::PassivityAnalyzer analyzer;
+  api::Result<api::AnalysisReport> result = analyzer.analyze(g);
+  if (!result.ok()) {
+    std::printf("analysis failed: %s\n", result.status().toString().c_str());
+    return 1;
+  }
+  const api::AnalysisReport& report = *result;
+  std::printf("passive:             %s\n", report.passive ? "YES" : "NO");
+  std::printf("verdict:             %s (%s)\n",
+              api::errorCodeName(report.verdict),
+              report.verdictMessage.c_str());
   std::printf("impulsive deflated:  %zu state(s) of Phi\n",
-              r.removedImpulsive);
+              report.removedImpulsive);
   std::printf("nondynamic removed:  %zu state(s) of Phi\n",
-              r.removedNondynamic);
-  std::printf("impulsive chains:    %zu\n", r.impulsiveChains);
-  if (r.m1.rows() > 0)
+              report.removedNondynamic);
+  std::printf("impulsive chains:    %zu\n", report.impulsiveChains);
+  if (report.m1.rows() > 0)
     std::printf("M1 (residue at inf): %.6f   (expected L = %.6f)\n",
-                r.m1(0, 0), L);
-  return r.passive ? 0 : 1;
+                report.m1(0, 0), L);
+  std::printf("\ndecision path (JSON):\n%s\n", report.toJson().c_str());
+
+  // --- Batched analysis ---------------------------------------------
+  // Eight RLC interconnect ladders of growing order, a mix of impulsive
+  // and impulse-free models, analyzed in parallel on the analyzer's
+  // thread pool. Each batch report must match its sequential single-shot
+  // counterpart exactly (up to wall-clock timings).
+  std::vector<api::AnalysisRequest> batch;
+  for (std::size_t k = 0; k < 8; ++k) {
+    circuits::LadderOptions opt;
+    opt.sections = 3 + k;
+    opt.capAtPort = (k % 2 == 0);  // alternate impulse-free / impulsive
+    api::AnalysisRequest req;
+    req.id = "ladder-" + std::to_string(k);
+    req.system = circuits::makeRlcLadder(opt);
+    batch.push_back(std::move(req));
+  }
+
+  std::vector<api::Result<api::AnalysisReport>> reports =
+      analyzer.runBatch(batch);
+
+  std::printf("\nbatch of %zu RLC interconnects:\n", batch.size());
+  bool allMatch = true, allPassive = true;
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (!reports[k].ok()) {
+      std::printf("  %-10s ERROR %s\n", batch[k].id.c_str(),
+                  reports[k].status().toString().c_str());
+      allMatch = allPassive = false;
+      continue;
+    }
+    api::Result<api::AnalysisReport> single = analyzer.analyze(batch[k]);
+    const bool match =
+        single.ok() && reports[k]->decisionEquals(*single);
+    allMatch = allMatch && match;
+    allPassive = allPassive && reports[k]->passive;
+    std::printf("  %-10s order %-3zu %-11s matches single-shot: %s\n",
+                reports[k]->id.c_str(), reports[k]->order,
+                reports[k]->passive ? "PASSIVE" : "NOT PASSIVE",
+                match ? "yes" : "NO");
+  }
+  std::printf("batch == sequential: %s\n", allMatch ? "YES" : "NO");
+  return (report.passive && allMatch && allPassive) ? 0 : 1;
 }

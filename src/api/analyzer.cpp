@@ -1,0 +1,149 @@
+#include "api/analyzer.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "api/json.hpp"
+#include "api/thread_pool.hpp"
+
+namespace shhpass::api {
+
+bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
+  if (id != other.id || passive != other.passive ||
+      verdict != other.verdict || verdictMessage != other.verdictMessage ||
+      failure != other.failure || order != other.order ||
+      ports != other.ports || removedImpulsive != other.removedImpulsive ||
+      removedNondynamic != other.removedNondynamic ||
+      impulsiveChains != other.impulsiveChains ||
+      properOrder != other.properOrder)
+    return false;
+  if (m1.rows() != other.m1.rows() || m1.cols() != other.m1.cols())
+    return false;
+  for (std::size_t i = 0; i < m1.rows(); ++i)
+    for (std::size_t j = 0; j < m1.cols(); ++j)
+      if (m1(i, j) != other.m1(i, j)) return false;
+  if (stages.size() != other.stages.size()) return false;
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    if (stages[k].name != other.stages[k].name ||
+        stages[k].status.code() != other.stages[k].status.code() ||
+        stages[k].status.message() != other.stages[k].status.message())
+      return false;
+  }
+  return true;
+}
+
+std::string AnalysisReport::toJson() const {
+  json::Writer w;
+  w.beginObject();
+  w.key("id").value(id);
+  w.key("passive").value(passive);
+  w.key("verdict").value(errorCodeName(verdict));
+  w.key("verdictMessage").value(verdictMessage);
+  w.key("order").value(order);
+  w.key("ports").value(ports);
+  w.key("diagnostics").beginObject();
+  w.key("removedImpulsive").value(removedImpulsive);
+  w.key("removedNondynamic").value(removedNondynamic);
+  w.key("impulsiveChains").value(impulsiveChains);
+  w.key("properOrder").value(properOrder);
+  w.key("m1").value(m1);
+  w.endObject();
+  w.key("stages").beginArray();
+  for (const StageTrace& t : stages) {
+    w.beginObject();
+    w.key("name").value(t.name);
+    w.key("status").value(errorCodeName(t.status.code()));
+    if (!t.status.ok()) w.key("message").value(t.status.message());
+    w.key("seconds").value(t.seconds);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("totalSeconds").value(totalSeconds);
+  w.endObject();
+  return w.str();
+}
+
+PassivityAnalyzer::PassivityAnalyzer(AnalyzerOptions options)
+    : options_(std::move(options)) {}
+
+void PassivityAnalyzer::setStageObserver(Pipeline::Observer observer) {
+  observer_ = std::move(observer);
+}
+
+Result<AnalysisReport> PassivityAnalyzer::analyze(
+    const ds::DescriptorSystem& system) const {
+  return analyzeImpl(system, options_.passivity, std::string(),
+                     /*notifyObserver=*/true);
+}
+
+Result<AnalysisReport> PassivityAnalyzer::analyze(
+    const AnalysisRequest& request) const {
+  return analyzeImpl(request.system,
+                     request.options ? *request.options : options_.passivity,
+                     request.id, /*notifyObserver=*/true);
+}
+
+std::vector<Result<AnalysisReport>> PassivityAnalyzer::runBatch(
+    std::span<const AnalysisRequest> requests) const {
+  std::vector<Result<AnalysisReport>> results(
+      requests.size(),
+      Result<AnalysisReport>(
+          Status::error(ErrorCode::Internal, "not executed")));
+  if (requests.empty()) return results;
+  std::size_t threads = options_.threads;
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  ThreadPool pool(std::min(threads, requests.size()));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool.submit([this, &requests, &results, i] {
+      // analyzeImpl is exception-free (Status-based) by construction, so
+      // the job cannot throw across the pool boundary. The observer is
+      // skipped: per-stage traces land in the report instead.
+      results[i] =
+          analyzeImpl(requests[i].system,
+                      requests[i].options ? *requests[i].options
+                                          : options_.passivity,
+                      requests[i].id, /*notifyObserver=*/false);
+    });
+  }
+  pool.wait();
+  return results;
+}
+
+Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
+    const ds::DescriptorSystem& system, const core::PassivityOptions& opts,
+    const std::string& id, bool notifyObserver) const {
+  const Pipeline& pipeline = standardPipeline();
+
+  PipelineState state;
+  state.input = &system;
+  state.options = opts;
+
+  AnalysisReport report;
+  report.id = id;
+
+  const Status status =
+      pipeline.run(state, &report.stages,
+                   notifyObserver ? observer_ : Pipeline::Observer());
+  if (!status.ok() && !isVerdictCode(status.code()))
+    return Result<AnalysisReport>(status);
+
+  report.passive = state.result.passive;
+  report.verdict = status.code();
+  report.verdictMessage =
+      status.ok() ? core::failureStageName(core::FailureStage::None)
+                  : status.message();
+  report.failure = state.result.failure;
+  report.order = system.order();
+  report.ports = system.numInputs();
+  report.removedImpulsive = state.result.removedImpulsive;
+  report.removedNondynamic = state.result.removedNondynamic;
+  report.impulsiveChains = state.result.impulsiveChains;
+  report.m1 = state.result.m1;
+  report.properOrder = state.result.properPart.lambda.rows();
+  for (const StageTrace& t : report.stages) report.totalSeconds += t.seconds;
+  return Result<AnalysisReport>(std::move(report));
+}
+
+}  // namespace shhpass::api

@@ -1,0 +1,107 @@
+// PassivityAnalyzer: the engine facade of the library. Setup (options),
+// solve (analyze / runBatch), and reporting (AnalysisReport with JSON
+// serialization of the full Fig.-1 decision path) live behind one object —
+// the facade pattern of lgrtk's circuit module — instead of the historical
+// scatter of per-module free functions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.hpp"
+#include "api/status.hpp"
+#include "ds/descriptor.hpp"
+
+namespace shhpass::api {
+
+/// One unit of service work: a system to analyze plus optional per-request
+/// option overrides and a caller-chosen correlation id.
+struct AnalysisRequest {
+  std::string id;                 ///< Echoed into the report (may be empty).
+  ds::DescriptorSystem system;
+  std::optional<core::PassivityOptions> options;  ///< Overrides analyzer
+                                                  ///< defaults when set.
+};
+
+/// Full decision-path record of one analysis.
+struct AnalysisReport {
+  std::string id;               ///< AnalysisRequest::id (empty for ad hoc).
+  bool passive = false;
+  ErrorCode verdict = ErrorCode::Ok;  ///< Ok when passive, else the Fig.-1
+                                      ///< stage verdict code.
+  std::string verdictMessage;   ///< Human-readable verdict.
+  core::FailureStage failure = core::FailureStage::None;
+
+  // Input shape.
+  std::size_t order = 0;        ///< State count of the input system.
+  std::size_t ports = 0;        ///< Input (= output) count.
+
+  // Stage diagnostics (same content as the legacy PassivityResult).
+  std::size_t removedImpulsive = 0;
+  std::size_t removedNondynamic = 0;
+  std::size_t impulsiveChains = 0;
+  linalg::Matrix m1;            ///< First Markov parameter (residue at inf).
+  std::size_t properOrder = 0;  ///< Order of the extracted proper part.
+
+  // Execution record.
+  std::vector<StageTrace> stages;  ///< One trace per executed stage.
+  double totalSeconds = 0.0;
+
+  /// Decision-path equality: every field that reflects WHAT was decided
+  /// (verdict, diagnostics, M1, per-stage statuses) — everything except
+  /// wall-clock timings. Batch results must decisionEquals their
+  /// sequential single-shot counterparts.
+  bool decisionEquals(const AnalysisReport& other) const;
+
+  /// Compact JSON serialization of the full decision path (service wire
+  /// format; see README for the schema).
+  std::string toJson() const;
+};
+
+/// Analyzer-wide configuration.
+struct AnalyzerOptions {
+  core::PassivityOptions passivity;  ///< Default per-analysis options.
+  std::size_t threads = 0;  ///< Worker threads for runBatch; 0 = hardware
+                            ///< concurrency.
+};
+
+/// The engine facade. Thread-compatible: one analyzer may serve concurrent
+/// analyze() calls; runBatch parallelizes internally.
+class PassivityAnalyzer {
+ public:
+  PassivityAnalyzer() : PassivityAnalyzer(AnalyzerOptions{}) {}
+  explicit PassivityAnalyzer(AnalyzerOptions options);
+
+  const AnalyzerOptions& options() const { return options_; }
+
+  /// Per-stage diagnostic hook, invoked after each stage of single-shot
+  /// analyze() calls (NOT during runBatch, where reports carry the same
+  /// traces without cross-thread observer reentrancy).
+  void setStageObserver(Pipeline::Observer observer);
+
+  /// Analyze one system with the analyzer-default options.
+  Result<AnalysisReport> analyze(const ds::DescriptorSystem& system) const;
+
+  /// Analyze one request (honoring its option overrides and id).
+  Result<AnalysisReport> analyze(const AnalysisRequest& request) const;
+
+  /// Analyze many systems on an internal thread pool. Results are in
+  /// request order; element i is exactly what analyze(requests[i]) would
+  /// return (up to wall-clock timings).
+  std::vector<Result<AnalysisReport>> runBatch(
+      std::span<const AnalysisRequest> requests) const;
+
+ private:
+  Result<AnalysisReport> analyzeImpl(const ds::DescriptorSystem& system,
+                                     const core::PassivityOptions& opts,
+                                     const std::string& id,
+                                     bool notifyObserver) const;
+
+  AnalyzerOptions options_;
+  Pipeline::Observer observer_;
+};
+
+}  // namespace shhpass::api

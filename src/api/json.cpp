@@ -1,0 +1,125 @@
+#include "api/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace shhpass::api::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::beforeValue() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // comma already emitted with the key
+  }
+  if (!needComma_.empty()) {
+    if (needComma_.back()) out_ += ',';
+    needComma_.back() = true;
+  }
+}
+
+Writer& Writer::beginObject() {
+  beforeValue();
+  out_ += '{';
+  needComma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::endObject() {
+  needComma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::beginArray() {
+  beforeValue();
+  out_ += '[';
+  needComma_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::endArray() {
+  needComma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (!needComma_.empty()) {
+    if (needComma_.back()) out_ += ',';
+    needComma_.back() = true;
+  }
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pendingKey_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  beforeValue();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  beforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(std::size_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(const linalg::Matrix& m) {
+  beginArray();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    beginArray();
+    for (std::size_t j = 0; j < m.cols(); ++j) value(m(i, j));
+    endArray();
+  }
+  endArray();
+  return *this;
+}
+
+}  // namespace shhpass::api::json

@@ -1,0 +1,50 @@
+// Minimal dependency-free JSON writer for the service-facing report
+// serialization. Emits compact (no-whitespace) RFC 8259 JSON; the writer
+// tracks nesting so callers never manage commas by hand.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace shhpass::api::json {
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string escape(std::string_view s);
+
+/// Streaming JSON writer. Usage:
+///   Writer w;
+///   w.beginObject().key("passive").value(true).endObject();
+///   std::string doc = w.str();
+class Writer {
+ public:
+  Writer& beginObject();
+  Writer& endObject();
+  Writer& beginArray();
+  Writer& endArray();
+
+  /// Key of the next member (only inside an object).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v);
+  Writer& value(double v);
+  Writer& value(std::size_t v);
+  Writer& value(int v) { return value(static_cast<double>(v)); }
+  /// Matrix as a row-major array of arrays.
+  Writer& value(const linalg::Matrix& m);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void beforeValue();
+  std::string out_;
+  std::vector<bool> needComma_;  // one flag per open scope
+  bool pendingKey_ = false;
+};
+
+}  // namespace shhpass::api::json

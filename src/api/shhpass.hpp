@@ -1,0 +1,33 @@
+// shhpass.hpp — the single public entry point of the library.
+//
+//   #include "api/shhpass.hpp"
+//
+//   shhpass::api::PassivityAnalyzer analyzer;
+//   auto result = analyzer.analyze(system);
+//   if (result.ok()) std::puts(result->toJson().c_str());
+//
+// Pulls in the engine facade (PassivityAnalyzer, AnalysisRequest/-Report,
+// runBatch), the Status/Result error model, the stage-pipeline engine, and
+// the modelling front ends (descriptor systems, netlists, MNA stamping,
+// circuit generators) needed to build analysis inputs.
+//
+// The per-module free functions underneath (core::testPassivityShh and the
+// stage helpers) remain available for advanced use but are deprecated as
+// entry points; new code should go through this header.
+#pragma once
+
+// Engine facade and error model.
+#include "api/analyzer.hpp"
+#include "api/json.hpp"
+#include "api/pipeline.hpp"
+#include "api/status.hpp"
+
+// Modelling front ends.
+#include "circuits/generators.hpp"
+#include "circuits/mna.hpp"
+#include "circuits/netlist.hpp"
+#include "ds/descriptor.hpp"
+#include "ds/impulse_tests.hpp"
+
+// Legacy single-call test (deprecated shim over the pipeline engine).
+#include "core/passivity_test.hpp"

@@ -1,0 +1,106 @@
+#include "api/status.hpp"
+
+#include <stdexcept>
+
+namespace shhpass::api {
+
+const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return "OK";
+    case ErrorCode::NotSquare: return "NOT_SQUARE";
+    case ErrorCode::SingularPencil: return "SINGULAR_PENCIL";
+    case ErrorCode::UnstableFiniteModes: return "UNSTABLE_FINITE_MODES";
+    case ErrorCode::ResidualImpulses: return "RESIDUAL_IMPULSES";
+    case ErrorCode::HigherOrderImpulse: return "HIGHER_ORDER_IMPULSE";
+    case ErrorCode::M1NotPsd: return "M1_NOT_PSD";
+    case ErrorCode::LosslessAxisModes: return "LOSSLESS_AXIS_MODES";
+    case ErrorCode::ProperPartNotPr: return "PROPER_PART_NOT_PR";
+    case ErrorCode::InvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::NumericalFailure: return "NUMERICAL_FAILURE";
+    case ErrorCode::Internal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+bool isVerdictCode(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::NotSquare:
+    case ErrorCode::SingularPencil:
+    case ErrorCode::UnstableFiniteModes:
+    case ErrorCode::ResidualImpulses:
+    case ErrorCode::HigherOrderImpulse:
+    case ErrorCode::M1NotPsd:
+    case ErrorCode::LosslessAxisModes:
+    case ErrorCode::ProperPartNotPr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ErrorCode errorCodeFromFailureStage(core::FailureStage stage) {
+  switch (stage) {
+    case core::FailureStage::None: return ErrorCode::Ok;
+    case core::FailureStage::NotSquare: return ErrorCode::NotSquare;
+    case core::FailureStage::SingularPencil: return ErrorCode::SingularPencil;
+    case core::FailureStage::UnstableFiniteModes:
+      return ErrorCode::UnstableFiniteModes;
+    case core::FailureStage::ResidualImpulses:
+      return ErrorCode::ResidualImpulses;
+    case core::FailureStage::HigherOrderImpulse:
+      return ErrorCode::HigherOrderImpulse;
+    case core::FailureStage::M1NotPsd: return ErrorCode::M1NotPsd;
+    case core::FailureStage::LosslessAxisModes:
+      return ErrorCode::LosslessAxisModes;
+    case core::FailureStage::ProperPartNotPr:
+      return ErrorCode::ProperPartNotPr;
+  }
+  return ErrorCode::Internal;
+}
+
+std::optional<core::FailureStage> failureStageFromErrorCode(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Ok: return core::FailureStage::None;
+    case ErrorCode::NotSquare: return core::FailureStage::NotSquare;
+    case ErrorCode::SingularPencil: return core::FailureStage::SingularPencil;
+    case ErrorCode::UnstableFiniteModes:
+      return core::FailureStage::UnstableFiniteModes;
+    case ErrorCode::ResidualImpulses:
+      return core::FailureStage::ResidualImpulses;
+    case ErrorCode::HigherOrderImpulse:
+      return core::FailureStage::HigherOrderImpulse;
+    case ErrorCode::M1NotPsd: return core::FailureStage::M1NotPsd;
+    case ErrorCode::LosslessAxisModes:
+      return core::FailureStage::LosslessAxisModes;
+    case ErrorCode::ProperPartNotPr:
+      return core::FailureStage::ProperPartNotPr;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string Status::toString() const {
+  if (ok()) return "OK";
+  std::string s = errorCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+Status statusFromCurrentException() {
+  try {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    return Status::error(ErrorCode::InvalidArgument, e.what());
+  } catch (const std::runtime_error& e) {
+    return Status::error(ErrorCode::NumericalFailure, e.what());
+  } catch (const std::exception& e) {
+    return Status::error(ErrorCode::Internal, e.what());
+  } catch (...) {
+    return Status::error(ErrorCode::Internal, "unknown exception");
+  }
+}
+
+}  // namespace shhpass::api

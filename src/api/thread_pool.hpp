@@ -1,0 +1,48 @@
+// Fixed-size worker pool for batched analysis. Deliberately small: a
+// mutex-guarded FIFO of std::function jobs, workers joined on destruction,
+// and a wait() barrier that lets a caller collect results while keeping
+// the pool alive (runBatch sizes a fresh pool to each batch and tears it
+// down afterwards; the create/join cost is noise next to one analysis).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shhpass::api {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a job. Jobs must not throw (wrap work in a Status-returning
+  /// shell before submitting).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable jobReady_;
+  std::condition_variable allDone_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace shhpass::api

@@ -1,2 +1,41 @@
-// Netlist is header-only; this translation unit anchors the module.
 #include "circuits/netlist.hpp"
+
+#include <stdexcept>
+
+namespace shhpass::circuits {
+
+Netlist::Netlist(int numNodes) : numNodes_(numNodes) {
+  if (numNodes < 0) throw std::invalid_argument("Netlist: negative nodes");
+}
+
+Netlist& Netlist::addPort(int node) {
+  checkNode(node);
+  if (node == 0) throw std::invalid_argument("Netlist: port at ground");
+  ports_.push_back(node);
+  return *this;
+}
+
+std::size_t Netlist::numInductors() const {
+  std::size_t k = 0;
+  for (const Component& c : comps_)
+    if (c.kind == Component::Kind::Inductor) ++k;
+  return k;
+}
+
+Netlist& Netlist::addComponent(Component c) {
+  checkNode(c.n1);
+  checkNode(c.n2);
+  if (c.n1 == c.n2)
+    throw std::invalid_argument("Netlist: element shorted to itself");
+  if (c.value == 0.0)
+    throw std::invalid_argument("Netlist: zero-valued element");
+  comps_.push_back(c);
+  return *this;
+}
+
+void Netlist::checkNode(int n) const {
+  if (n < 0 || n > numNodes_)
+    throw std::invalid_argument("Netlist: node index out of range");
+}
+
+}  // namespace shhpass::circuits

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstddef>
-#include <stdexcept>
 #include <vector>
 
 namespace shhpass::circuits {
@@ -24,9 +23,8 @@ struct Component {
 /// A flat netlist with numbered nodes 1..numNodes (0 is ground).
 class Netlist {
  public:
-  explicit Netlist(int numNodes) : numNodes_(numNodes) {
-    if (numNodes < 0) throw std::invalid_argument("Netlist: negative nodes");
-  }
+  /// Throws std::invalid_argument if `numNodes` is negative.
+  explicit Netlist(int numNodes);
 
   int numNodes() const { return numNodes_; }
   const std::vector<Component>& components() const { return comps_; }
@@ -42,36 +40,17 @@ class Netlist {
     return addComponent({Component::Kind::Capacitor, n1, n2, farads});
   }
 
-  /// Declare a current-injection port at `node` (vs ground).
-  Netlist& addPort(int node) {
-    checkNode(node);
-    if (node == 0) throw std::invalid_argument("Netlist: port at ground");
-    ports_.push_back(node);
-    return *this;
-  }
+  /// Declare a current-injection port at `node` (vs ground). Throws
+  /// std::invalid_argument for ground or an out-of-range node.
+  Netlist& addPort(int node);
 
-  std::size_t numInductors() const {
-    std::size_t k = 0;
-    for (const auto& c : comps_)
-      if (c.kind == Component::Kind::Inductor) ++k;
-    return k;
-  }
+  std::size_t numInductors() const;
 
  private:
-  Netlist& addComponent(Component c) {
-    checkNode(c.n1);
-    checkNode(c.n2);
-    if (c.n1 == c.n2)
-      throw std::invalid_argument("Netlist: element shorted to itself");
-    if (c.value == 0.0)
-      throw std::invalid_argument("Netlist: zero-valued element");
-    comps_.push_back(c);
-    return *this;
-  }
-  void checkNode(int n) const {
-    if (n < 0 || n > numNodes_)
-      throw std::invalid_argument("Netlist: node index out of range");
-  }
+  /// Validates node indices and rejects shorted or zero-valued elements
+  /// (throws std::invalid_argument).
+  Netlist& addComponent(Component c);
+  void checkNode(int n) const;
 
   int numNodes_;
   std::vector<Component> comps_;

@@ -1,11 +1,12 @@
+// DEPRECATED SHIM. The Fig.-1 orchestration moved into the stage-pipeline
+// engine (api/pipeline.hpp); testPassivityShh remains as a thin wrapper so
+// existing callers keep working. New code should use
+// api::PassivityAnalyzer via the api/shhpass.hpp umbrella header.
 #include "core/passivity_test.hpp"
 
-#include "control/pr_test.hpp"
-#include "core/impulse_deflation.hpp"
-#include "core/markov.hpp"
-#include "core/nondynamic.hpp"
-#include "core/phi_builder.hpp"
-#include "ds/balance.hpp"
+#include <stdexcept>
+
+#include "api/pipeline.hpp"
 
 namespace shhpass::core {
 
@@ -30,87 +31,18 @@ std::string failureStageName(FailureStage s) {
 
 PassivityResult testPassivityShh(const ds::DescriptorSystem& g,
                                  const PassivityOptions& opt) {
-  PassivityResult res;
-  g.validate();
-
-  // Stage 0: prerequisites.
-  if (!g.isSquareSystem()) {
-    res.failure = FailureStage::NotSquare;
-    return res;
+  api::PipelineState state;
+  state.input = &g;
+  state.options = opt;
+  const api::Status status = api::standardPipeline().run(state);
+  // Preserve the historical contract: operational failures surfaced as
+  // exceptions from this (pre-Status) entry point.
+  if (!status.ok() && !api::isVerdictCode(status.code())) {
+    if (status.code() == api::ErrorCode::InvalidArgument)
+      throw std::invalid_argument(status.message());
+    throw std::runtime_error(status.message());
   }
-  // Balance the pencil: frequency scaling + equilibration. Exact r.s.e.
-  // operations that shrink the dynamic range of (E, A); physical-unit
-  // models (Farads vs Henries) are otherwise numerically hostile to the
-  // structured decomposition. Passivity is invariant under both.
-  ds::BalancedSystem bal =
-      opt.balance ? ds::balanceDescriptor(g)
-                  : ds::BalancedSystem{g, 1.0};
-  const ds::DescriptorSystem& gb = bal.sys;
-
-  if (!opt.skipPrerequisites) {
-    if (!ds::isRegular(gb)) {
-      res.failure = FailureStage::SingularPencil;
-      return res;
-    }
-    if (!ds::hasStableFiniteModes(gb)) {
-      res.failure = FailureStage::UnstableFiniteModes;
-      return res;
-    }
-  }
-
-  // Stage 1: Phi = G + G~ as an SHH pencil, deflate impulse-unobservable
-  // and impulse-uncontrollable modes.
-  shh::ShhRealization phi = buildPhi(gb);
-  ImpulseDeflationResult s1 = deflateImpulseModes(phi, opt.rankTol);
-  res.removedImpulsive = s1.removed;
-
-  // Stage 2+3: impulse-freeness certificate and nondynamic elimination.
-  NondynamicRemovalResult s2 = removeNondynamicModes(s1.reduced, opt.rankTol);
-  res.removedNondynamic = s2.removed;
-  if (!s2.impulseFree) {
-    res.failure = FailureStage::ResidualImpulses;
-    return res;
-  }
-
-  // Stage 4: impulsive-part admissibility of G itself. Grade >= 3 chains
-  // mean Mk != 0 for some k >= 2; Eq. (3) then rules out passivity even
-  // though skew-symmetric Mk cancel inside Phi.
-  // (Cancellation in Phi implies stage 1 removed something, so this check
-  // only needs to run when the deflation was non-trivial.)
-  if (res.removedImpulsive > 0 && hasHigherOrderImpulses(gb, opt.rankTol)) {
-    res.failure = FailureStage::HigherOrderImpulse;
-    return res;
-  }
-  M1Extraction m1 = extractM1(gb, opt.rankTol);
-  // The balanced system is G_b(s) = G(tau * s), whose residue at infinity
-  // is tau * M1; undo the frequency scaling for reporting.
-  res.m1 = (1.0 / bal.freqScale) * m1.m1;
-  res.impulsiveChains = m1.chainCount;
-  if (!m1.symmetric || !m1.psd) {
-    res.failure = FailureStage::M1NotPsd;
-    return res;
-  }
-
-  // Stage 5: normalize E3 and split off the stable proper part.
-  res.properPart = extractProperPart(s2.shh, opt.imagTol);
-  if (!res.properPart.ok) {
-    res.failure = FailureStage::LosslessAxisModes;
-    return res;
-  }
-
-  // Stage 6: standard positive-realness test on the extracted proper part
-  // Hp; Phi_p(jw) = Hp(jw) + Hp(jw)^* = Gp(jw) + Gp(jw)^*, so positive
-  // realness of Hp decides condition 2 for G.
-  control::PrTestResult pr = control::testPositiveRealProper(
-      res.properPart.lambda, res.properPart.b1, res.properPart.c1,
-      res.properPart.dHalf, opt.imagTol);
-  if (!pr.positiveReal) {
-    res.failure = FailureStage::ProperPartNotPr;
-    return res;
-  }
-
-  res.passive = true;
-  return res;
+  return state.result;
 }
 
 }  // namespace shhpass::core

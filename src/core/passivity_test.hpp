@@ -63,6 +63,13 @@ struct PassivityOptions {
 };
 
 /// Run the proposed SHH passivity test on a descriptor system.
+///
+/// DEPRECATED entry point: this is a thin shim over the stage-pipeline
+/// engine (api/pipeline.hpp). New code should use api::PassivityAnalyzer
+/// through the api/shhpass.hpp umbrella header, which adds Status-based
+/// error handling, per-stage timing, JSON reports, and batching. Unlike
+/// the api layer, this wrapper rethrows operational failures as
+/// std::invalid_argument / std::runtime_error (the historical contract).
 PassivityResult testPassivityShh(const ds::DescriptorSystem& g,
                                  const PassivityOptions& opt = {});
 

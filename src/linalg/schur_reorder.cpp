@@ -67,6 +67,52 @@ std::complex<double> blockEigenvalue(const Matrix& t, std::size_t j,
   return {tr2, std::sqrt(-disc)};
 }
 
+// If the 2x2 block at (j, j) has REAL eigenvalues (blocks like this appear
+// when swaps perturb a near-degenerate complex pair onto the real axis),
+// rotate it to upper-triangular form so it becomes two 1x1 blocks, and
+// return true. Leaving such a block fused would make the eigenvalue
+// selection treat its two — possibly differently classified — real
+// eigenvalues as a unit and miscount the reordered split.
+bool splitRealBlock(Matrix& t, Matrix& q, std::size_t j) {
+  const std::size_t n = t.rows();
+  const double a11 = t(j, j), a12 = t(j, j + 1);
+  const double a21 = t(j + 1, j), a22 = t(j + 1, j + 1);
+  const double tr2 = (a11 + a22) / 2.0;
+  const double det = a11 * a22 - a12 * a21;
+  const double disc = tr2 * tr2 - det;
+  if (disc < 0.0) return false;  // genuine complex pair: leave fused
+  const double lambda = tr2 + (tr2 >= 0.0 ? 1.0 : -1.0) * std::sqrt(disc);
+  // Eigenvector of [a11 a12; a21 a22] for `lambda`, taken from whichever
+  // row gives the better-conditioned representation.
+  double v1 = a12, v2 = lambda - a11;
+  if (std::abs(lambda - a22) + std::abs(a21) >
+      std::abs(v1) + std::abs(v2)) {
+    v1 = lambda - a22;
+    v2 = a21;
+  }
+  const double nrm = std::hypot(v1, v2);
+  if (nrm == 0.0) return false;  // defective beyond help; leave it
+  const double c = v1 / nrm, s = v2 / nrm;
+  // Givens G = [c -s; s c] maps e1 onto the eigenvector: G^T B G is upper
+  // triangular with `lambda` in the (0,0) slot. Apply the similarity to
+  // the full T and accumulate into Q, as in swapSchurBlocks.
+  for (std::size_t col = 0; col < n; ++col) {
+    const double x = t(j, col), y = t(j + 1, col);
+    t(j, col) = c * x + s * y;
+    t(j + 1, col) = -s * x + c * y;
+  }
+  for (std::size_t row = 0; row < n; ++row) {
+    const double x = t(row, j), y = t(row, j + 1);
+    t(row, j) = c * x + s * y;
+    t(row, j + 1) = -s * x + c * y;
+    const double qx = q(row, j), qy = q(row, j + 1);
+    q(row, j) = c * qx + s * qy;
+    q(row, j + 1) = -s * qx + c * qy;
+  }
+  t(j + 1, j) = 0.0;
+  return true;
+}
+
 }  // namespace
 
 void swapSchurBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
@@ -108,8 +154,10 @@ void swapSchurBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
     for (std::size_t c = 0; c < std::min(r, qsz); ++c) t(j + r, j + c) = 0.0;
   // Clean the interior subdiagonals of the swapped 1x1 blocks.
   if (qsz == 1 && p == 1) t(j + 1, j) = 0.0;
-  // For 2x2 blocks with real eigenvalues created by round-off, leave them:
-  // downstream uses blockEigenvalue which handles both cases.
+  // 2x2 blocks whose eigenvalues drifted onto the real axis are NOT
+  // handled here: reorderSchur splits them (splitRealBlock) before each
+  // selection pass, because a fused real pair straddling the selection
+  // boundary would be misclassified as a unit.
 }
 
 std::size_t reorderSchur(Matrix& t, Matrix& q,
@@ -129,6 +177,14 @@ std::size_t reorderSchur(Matrix& t, Matrix& q,
       starts[b] = pos;
       pos += sizes[b];
     }
+    // Standardize: swaps can push a near-degenerate complex pair onto the
+    // real axis, leaving a fused 2x2 block with two real eigenvalues that
+    // the selector could classify differently. Split those into 1x1 blocks
+    // and re-scan before selecting.
+    bool didSplit = false;
+    for (std::size_t b = 0; b < sizes.size(); ++b)
+      if (sizes[b] == 2 && splitRealBlock(t, q, starts[b])) didSplit = true;
+    if (didSplit) continue;
     // Find the first selected block at or after `target`.
     std::size_t bsel = sizes.size();
     for (std::size_t b = 0; b < sizes.size(); ++b) {

@@ -1,0 +1,332 @@
+// Tests of the unified public API: the Status/Result error model and its
+// FailureStage mapping, the stage-pipeline engine, the analyzer facade
+// (error paths, JSON reports), and batch/sequential agreement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/shhpass.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::api {
+namespace {
+
+using linalg::Matrix;
+
+// ------------------------------------------------------------ Status model
+
+TEST(ApiStatus, EveryFailureStageMapsToADistinctCode) {
+  const core::FailureStage stages[] = {
+      core::FailureStage::None,
+      core::FailureStage::NotSquare,
+      core::FailureStage::SingularPencil,
+      core::FailureStage::UnstableFiniteModes,
+      core::FailureStage::ResidualImpulses,
+      core::FailureStage::HigherOrderImpulse,
+      core::FailureStage::M1NotPsd,
+      core::FailureStage::LosslessAxisModes,
+      core::FailureStage::ProperPartNotPr,
+  };
+  std::vector<ErrorCode> seen;
+  for (core::FailureStage s : stages) {
+    const ErrorCode code = errorCodeFromFailureStage(s);
+    // Distinct codes per stage.
+    for (ErrorCode prior : seen) EXPECT_NE(code, prior);
+    seen.push_back(code);
+    // Round trip.
+    auto back = failureStageFromErrorCode(code);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+    // Verdict classification: every stage except None is a verdict code.
+    EXPECT_EQ(isVerdictCode(code), s != core::FailureStage::None);
+    // Codes have stable names.
+    EXPECT_STRNE(errorCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ApiStatus, OperationalErrorsAreNotVerdictsAndHaveNoStage) {
+  for (ErrorCode code : {ErrorCode::InvalidArgument,
+                         ErrorCode::NumericalFailure, ErrorCode::Internal}) {
+    EXPECT_FALSE(isVerdictCode(code));
+    EXPECT_FALSE(failureStageFromErrorCode(code).has_value());
+  }
+}
+
+TEST(ApiStatus, StatusBasics) {
+  Status ok = Status::okStatus();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.toString(), "OK");
+
+  Status err = Status::error(ErrorCode::InvalidArgument, "bad shape");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(err.toString(), "INVALID_ARGUMENT: bad shape");
+}
+
+TEST(ApiStatus, ResultHoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::error(ErrorCode::Internal, "boom"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::Internal);
+}
+
+// --------------------------------------------------------------- error paths
+
+TEST(ApiAnalyzer, NonSquareSystemIsANotSquareVerdict) {
+  // 1 input, 2 outputs: structurally consistent but not square, so the
+  // Fig.-1 flow itself rejects it (power interpretation needs m_in = m_out).
+  ds::DescriptorSystem g;
+  g.e = Matrix::identity(2);
+  g.a = -1.0 * Matrix::identity(2);
+  g.b = Matrix(2, 1);
+  g.b(0, 0) = 1.0;
+  g.c = Matrix::identity(2);
+  g.d = Matrix(2, 1);
+
+  PassivityAnalyzer analyzer;
+  Result<AnalysisReport> r = analyzer.analyze(g);
+  ASSERT_TRUE(r.ok()) << r.status().toString();
+  EXPECT_FALSE(r->passive);
+  EXPECT_EQ(r->verdict, ErrorCode::NotSquare);
+  EXPECT_EQ(r->failure, core::FailureStage::NotSquare);
+  // The pipeline stopped in the prerequisites stage.
+  ASSERT_EQ(r->stages.size(), 1u);
+  EXPECT_EQ(r->stages[0].name, "prerequisites");
+  EXPECT_EQ(r->stages[0].status.code(), ErrorCode::NotSquare);
+}
+
+TEST(ApiAnalyzer, MalformedSystemIsAnInvalidArgumentError) {
+  // B has the wrong row count: validate() rejects the block shapes. The
+  // legacy API threw std::invalid_argument; the public API must return a
+  // Status instead of leaking the exception.
+  ds::DescriptorSystem g;
+  g.e = Matrix::identity(3);
+  g.a = -1.0 * Matrix::identity(3);
+  g.b = Matrix(2, 1);  // wrong: must be 3 x m
+  g.c = Matrix(1, 3);
+  g.d = Matrix(1, 1);
+
+  PassivityAnalyzer analyzer;
+  Result<AnalysisReport> r = analyzer.analyze(g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_FALSE(r.status().message().empty());
+}
+
+// ------------------------------------------------- verdict codes end-to-end
+
+TEST(ApiAnalyzer, NonPassiveMutantsGetTheExpectedVerdicts) {
+  PassivityAnalyzer analyzer;
+
+  Result<AnalysisReport> m1 =
+      analyzer.analyze(circuits::makeNonPassiveIndefiniteM1());
+  ASSERT_TRUE(m1.ok()) << m1.status().toString();
+  EXPECT_FALSE(m1->passive);
+  EXPECT_EQ(m1->verdict, ErrorCode::M1NotPsd);
+
+  Result<AnalysisReport> pr =
+      analyzer.analyze(circuits::makeNonPassiveNegativeFeedthrough(4));
+  ASSERT_TRUE(pr.ok()) << pr.status().toString();
+  EXPECT_FALSE(pr->passive);
+  EXPECT_EQ(pr->verdict, ErrorCode::ProperPartNotPr);
+}
+
+TEST(ApiAnalyzer, ReportAgreesWithLegacyShim) {
+  circuits::LadderOptions opt;
+  opt.sections = 4;
+  opt.capAtPort = false;  // impulsive: M1 = l at the port
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+
+  PassivityAnalyzer analyzer;
+  Result<AnalysisReport> r = analyzer.analyze(g);
+  ASSERT_TRUE(r.ok()) << r.status().toString();
+  core::PassivityResult legacy = core::testPassivityShh(g);
+
+  EXPECT_EQ(r->passive, legacy.passive);
+  EXPECT_EQ(r->failure, legacy.failure);
+  EXPECT_EQ(r->removedImpulsive, legacy.removedImpulsive);
+  EXPECT_EQ(r->removedNondynamic, legacy.removedNondynamic);
+  EXPECT_EQ(r->impulsiveChains, legacy.impulsiveChains);
+  testing::expectMatrixNear(r->m1, legacy.m1, 0.0);
+}
+
+// ----------------------------------------------------------------- pipeline
+
+TEST(ApiPipeline, TracesCoverAllStagesOnAPassiveRun) {
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  opt.capAtPort = true;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+
+  const Pipeline pipeline = Pipeline::standard();
+  ASSERT_EQ(pipeline.stages().size(), 7u);
+
+  PipelineState state;
+  state.input = &g;
+  std::vector<StageTrace> traces;
+  std::size_t observed = 0;
+  Status status = pipeline.run(state, &traces,
+                               [&](const StageTrace&) { ++observed; });
+  EXPECT_TRUE(status.ok()) << status.toString();
+  EXPECT_TRUE(state.result.passive);
+  ASSERT_EQ(traces.size(), 7u);
+  EXPECT_EQ(observed, 7u);
+  const char* expected[] = {"prerequisites",      "build-phi",
+                            "impulse-deflation",  "nondynamic-removal",
+                            "m1-extraction",      "proper-part",
+                            "pr-test"};
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i].name, expected[i]);
+    EXPECT_TRUE(traces[i].status.ok());
+    EXPECT_GE(traces[i].seconds, 0.0);
+  }
+}
+
+TEST(ApiPipeline, NullInputIsAnInvalidArgumentNotACrash) {
+  PipelineState state;  // input left null
+  Status status = standardPipeline().run(state);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+}
+
+TEST(ApiPipeline, VerdictStopsThePipelineEarly) {
+  ds::DescriptorSystem g = circuits::makeNonPassiveIndefiniteM1();
+  const Pipeline pipeline = Pipeline::standard();
+  PipelineState state;
+  state.input = &g;
+  std::vector<StageTrace> traces;
+  Status status = pipeline.run(state, &traces);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(isVerdictCode(status.code()));
+  EXPECT_EQ(status.code(), ErrorCode::M1NotPsd);
+  // m1-extraction is stage 5 of 7; the last two stages never ran.
+  EXPECT_EQ(traces.size(), 5u);
+  EXPECT_EQ(traces.back().name, "m1-extraction");
+}
+
+// --------------------------------------------------------------------- JSON
+
+TEST(ApiJson, WriterEscapesAndNests) {
+  json::Writer w;
+  w.beginObject();
+  w.key("s").value("a\"b\\c\nd");
+  w.key("n").value(std::size_t{3});
+  w.key("b").value(true);
+  w.key("arr").beginArray().value(1.5).value(false).endArray();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\",\"n\":3,\"b\":true,"
+            "\"arr\":[1.5,false]}");
+}
+
+TEST(ApiJson, ReportSerializesTheDecisionPath) {
+  circuits::LadderOptions opt;
+  opt.sections = 3;
+  opt.capAtPort = false;
+  PassivityAnalyzer analyzer;
+  Result<AnalysisReport> r = analyzer.analyze(circuits::makeRlcLadder(opt));
+  ASSERT_TRUE(r.ok()) << r.status().toString();
+  const std::string doc = r->toJson();
+  EXPECT_NE(doc.find("\"passive\":true"), std::string::npos);
+  EXPECT_NE(doc.find("\"verdict\":\"OK\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"pr-test\""), std::string::npos);
+  EXPECT_NE(doc.find("\"m1\":[["), std::string::npos);
+}
+
+// -------------------------------------------------------------------- batch
+
+TEST(ApiBatch, MixedBatchMatchesSequentialSingleShot) {
+  // A mixed set: passive ladders (impulse-free and impulsive), a random
+  // RLC network, and non-passive mutants of three different kinds, so the
+  // batch exercises several verdict paths concurrently.
+  std::vector<AnalysisRequest> batch;
+  for (std::size_t k = 0; k < 4; ++k) {
+    circuits::LadderOptions opt;
+    opt.sections = 3 + k;
+    opt.capAtPort = (k % 2 == 0);
+    AnalysisRequest req;
+    req.id = "ladder-" + std::to_string(k);
+    req.system = circuits::makeRlcLadder(opt);
+    batch.push_back(std::move(req));
+  }
+  {
+    AnalysisRequest req;
+    req.id = "random-net";
+    req.system = circuits::makeRandomRlcNetwork(6, /*seed=*/17);
+    batch.push_back(std::move(req));
+  }
+  {
+    AnalysisRequest req;
+    req.id = "indefinite-m1";
+    req.system = circuits::makeNonPassiveIndefiniteM1();
+    batch.push_back(std::move(req));
+  }
+  {
+    AnalysisRequest req;
+    req.id = "neg-feedthrough";
+    req.system = circuits::makeNonPassiveNegativeFeedthrough(4);
+    batch.push_back(std::move(req));
+  }
+  {
+    AnalysisRequest req;
+    req.id = "grade3";
+    req.system = circuits::makeNonPassiveHigherOrderImpulse();
+    batch.push_back(std::move(req));
+  }
+
+  AnalyzerOptions opts;
+  opts.threads = 4;  // force actual concurrency even on small machines
+  PassivityAnalyzer analyzer(opts);
+
+  std::vector<Result<AnalysisReport>> results = analyzer.runBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+
+  std::size_t passiveCount = 0, nonPassiveCount = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << batch[i].id << ": " << results[i].status().toString();
+    EXPECT_EQ(results[i]->id, batch[i].id);
+    (results[i]->passive ? passiveCount : nonPassiveCount) += 1;
+    // Per-item reports must match a sequential single-shot run exactly
+    // (up to wall-clock timings).
+    Result<AnalysisReport> single = analyzer.analyze(batch[i]);
+    ASSERT_TRUE(single.ok()) << batch[i].id;
+    EXPECT_TRUE(results[i]->decisionEquals(*single)) << batch[i].id;
+  }
+  EXPECT_EQ(passiveCount, 5u);
+  EXPECT_EQ(nonPassiveCount, 3u);
+}
+
+TEST(ApiBatch, EmptyBatchYieldsNoResults) {
+  PassivityAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.runBatch({}).empty());
+}
+
+TEST(ApiBatch, PerRequestOptionOverridesAreHonored) {
+  // skipPrerequisites on an unstable system: the default path reports
+  // UnstableFiniteModes, the override path runs past the screen.
+  ds::DescriptorSystem g = circuits::makeNonPassiveNegativeResistor(3);
+  PassivityAnalyzer analyzer;
+
+  AnalysisRequest plain;
+  plain.system = g;
+  Result<AnalysisReport> r1 = analyzer.analyze(plain);
+  ASSERT_TRUE(r1.ok()) << r1.status().toString();
+  EXPECT_FALSE(r1->passive);
+
+  AnalysisRequest skipped = plain;
+  core::PassivityOptions po;
+  po.skipPrerequisites = true;
+  skipped.options = po;
+  Result<AnalysisReport> r2 = analyzer.analyze(skipped);
+  ASSERT_TRUE(r2.ok()) << r2.status().toString();
+  EXPECT_FALSE(r2->passive);
+  EXPECT_NE(r2->verdict, ErrorCode::UnstableFiniteModes);
+}
+
+}  // namespace
+}  // namespace shhpass::api

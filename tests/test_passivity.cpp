@@ -44,6 +44,20 @@ TEST(ShhPassivity, LLSectionsStillPassive) {
   EXPECT_TRUE(r.passive) << failureStageName(r.failure);
 }
 
+TEST(ShhPassivity, SevenSectionCapAtPortLadderPassive) {
+  // Regression: this configuration used to be falsely declared non-passive
+  // (LosslessAxisModes). During Schur reordering of the proper-part
+  // Hamiltonian, a near-degenerate complex pair drifted onto the real axis
+  // as a fused 2x2 block straddling zero; the stable/antistable split then
+  // miscounted (13 vs 15) and the extraction gave up. reorderSchur now
+  // splits real-eigenvalue 2x2 blocks before selecting.
+  circuits::LadderOptions opt;
+  opt.sections = 7;
+  opt.capAtPort = true;
+  PassivityResult r = testPassivityShh(circuits::makeRlcLadder(opt));
+  EXPECT_TRUE(r.passive) << failureStageName(r.failure);
+}
+
 TEST(ShhPassivity, TwoPortLadderPassive) {
   circuits::LadderOptions opt;
   opt.sections = 3;
