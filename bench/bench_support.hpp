@@ -1,6 +1,20 @@
 // Shared helpers for the benchmark binaries: wall-clock timing and the
 // three passivity tests under measurement (proposed SHH, Weierstrass
 // baseline, LMI baseline).
+//
+// Determinism contract: every model a benchmark row is computed on is a
+// PURE function of its printed parameters, so rows (and golden verdicts
+// derived from them) are reproducible bit-for-bit across runs and
+// platforms. Concretely:
+//   * circuits::makeBenchmarkModel(order, impulsive) uses no randomness at
+//     all — the ladder topology and element values are derived from
+//     `order` alone;
+//   * circuits::makeRandomRlcNetwork(nodes, seed, ...) derives every
+//     random choice from the explicit `seed` via a fixed mt19937 stream —
+//     same seed, same network, bit-for-bit;
+//   * the wall times are the only nondeterministic column.
+// Enforced by Generators.ModelGeneratorsAreBitDeterministic in
+// tests/test_circuits.cpp; extend that test when adding a generator here.
 #pragma once
 
 #include <chrono>

@@ -23,6 +23,13 @@ bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
   for (std::size_t i = 0; i < m1.rows(); ++i)
     for (std::size_t j = 0; j < m1.cols(); ++j)
       if (m1(i, j) != other.m1(i, j)) return false;
+  if (reorder.swaps != other.reorder.swaps ||
+      reorder.rejectedSwaps != other.reorder.rejectedSwaps ||
+      reorder.maxResidual != other.reorder.maxResidual ||
+      reorder.eigenvalueDrift != other.reorder.eigenvalueDrift ||
+      reorder.standardizations != other.reorder.standardizations)
+    return false;
+  if (warnings != other.warnings) return false;
   if (stages.size() != other.stages.size()) return false;
   for (std::size_t k = 0; k < stages.size(); ++k) {
     if (stages[k].name != other.stages[k].name ||
@@ -48,7 +55,17 @@ std::string AnalysisReport::toJson() const {
   w.key("impulsiveChains").value(impulsiveChains);
   w.key("properOrder").value(properOrder);
   w.key("m1").value(m1);
+  w.key("reorder").beginObject();
+  w.key("swaps").value(reorder.swaps);
+  w.key("rejectedSwaps").value(reorder.rejectedSwaps);
+  w.key("maxResidual").value(reorder.maxResidual);
+  w.key("eigenvalueDrift").value(reorder.eigenvalueDrift);
+  w.key("standardizations").value(reorder.standardizations);
   w.endObject();
+  w.endObject();
+  w.key("warnings").beginArray();
+  for (Warning warn : warnings) w.value(warningName(warn));
+  w.endArray();
   w.key("stages").beginArray();
   for (const StageTrace& t : stages) {
     w.beginObject();
@@ -142,6 +159,9 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   report.impulsiveChains = state.result.impulsiveChains;
   report.m1 = state.result.m1;
   report.properOrder = state.result.properPart.lambda.rows();
+  report.reorder = state.result.reorder;
+  if (report.reorder.rejectedSwaps > 0)
+    report.warnings.push_back(Warning::ReorderSwapRejected);
   for (const StageTrace& t : report.stages) report.totalSeconds += t.seconds;
   return Result<AnalysisReport>(std::move(report));
 }

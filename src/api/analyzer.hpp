@@ -14,6 +14,7 @@
 #include "api/pipeline.hpp"
 #include "api/status.hpp"
 #include "ds/descriptor.hpp"
+#include "linalg/schur_reorder.hpp"
 
 namespace shhpass::api {
 
@@ -45,6 +46,12 @@ struct AnalysisReport {
   std::size_t impulsiveChains = 0;
   linalg::Matrix m1;            ///< First Markov parameter (residue at inf).
   std::size_t properOrder = 0;  ///< Order of the extracted proper part.
+
+  /// Health of the Schur reordering behind the Eq.-(22) stable/antistable
+  /// split (zeroed when the run never reached the proper-part stage).
+  linalg::ReorderReport reorder;
+  /// Non-fatal diagnostic flags (e.g. Warning::ReorderSwapRejected).
+  std::vector<Warning> warnings;
 
   // Execution record.
   std::vector<StageTrace> stages;  ///< One trace per executed stage.

@@ -104,6 +104,7 @@ class ProperPartStage final : public Stage {
   Status run(PipelineState& s) override {
     s.result.properPart =
         core::extractProperPart(s.nondynamic.shh, s.options.imagTol);
+    s.result.reorder = s.result.properPart.reorder;
     if (!s.result.properPart.ok)
       return verdict(core::FailureStage::LosslessAxisModes);
     return Status::okStatus();

@@ -22,6 +22,13 @@ const char* errorCodeName(ErrorCode code) {
   return "UNKNOWN";
 }
 
+const char* warningName(Warning w) {
+  switch (w) {
+    case Warning::ReorderSwapRejected: return "REORDER_SWAP_REJECTED";
+  }
+  return "UNKNOWN";
+}
+
 bool isVerdictCode(ErrorCode code) {
   switch (code) {
     case ErrorCode::NotSquare:

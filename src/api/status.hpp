@@ -43,6 +43,22 @@ enum class ErrorCode {
 /// Stable machine-readable name of a code (e.g. "M1_NOT_PSD").
 const char* errorCodeName(ErrorCode code);
 
+/// Non-fatal diagnostic conditions attached to an otherwise successful
+/// analysis. Warnings never change the verdict; they flag reduced
+/// confidence and are serialized into the AnalysisReport JSON.
+enum class Warning {
+  /// The Schur reordering behind the Eq.-(22) stable/antistable split
+  /// rejected at least one numerically ill-posed adjacent-block exchange
+  /// (nearly shared eigenvalues across the swap). The spectrum itself was
+  /// left intact, but the requested ordering is incomplete, so a
+  /// LOSSLESS_AXIS_MODES verdict reached this way is conservative rather
+  /// than certain. See AnalysisReport::reorder for the counts.
+  ReorderSwapRejected = 0,
+};
+
+/// Stable machine-readable name of a warning ("REORDER_SWAP_REJECTED").
+const char* warningName(Warning w);
+
 /// True for the Fig.-1 verdict codes (analysis succeeded, system is not
 /// passive); false for Ok and the operational errors.
 bool isVerdictCode(ErrorCode code);

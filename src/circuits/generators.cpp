@@ -1,5 +1,6 @@
 #include "circuits/generators.hpp"
 
+#include <cstdint>
 #include <random>
 #include <stdexcept>
 
@@ -100,21 +101,29 @@ ds::DescriptorSystem makeRandomRlcNetwork(std::size_t nodes, unsigned seed,
                                           bool sprinkleImpulsive) {
   if (nodes < 2)
     throw std::invalid_argument("makeRandomRlcNetwork: need >= 2 nodes");
+  // The mt19937 stream is pinned by the C++ standard, but the standard
+  // DISTRIBUTIONS are not (their mapping is implementation-defined), so
+  // values are mapped by hand: same seed => bit-identical network on every
+  // platform. Benchmarks and golden verdicts rely on this.
   std::mt19937 gen(seed);
-  std::uniform_real_distribution<double> val(0.5, 2.0);
-  std::uniform_int_distribution<int> pick(1, static_cast<int>(nodes));
+  auto val = [&gen]() {
+    return 0.5 + 1.5 * (static_cast<double>(gen()) * 0x1.0p-32);
+  };
+  auto pick = [&gen, nodes]() {
+    return 1 + static_cast<int>(gen() % static_cast<std::uint32_t>(nodes));
+  };
   Netlist net(static_cast<int>(nodes));
   net.addPort(1);
   // DC leak to ground keeps all finite poles strictly stable.
-  net.addResistor(static_cast<int>(nodes), 0, val(gen) * 10.0);
+  net.addResistor(static_cast<int>(nodes), 0, val() * 10.0);
   // Spanning chain of resistors guarantees connectivity.
   for (std::size_t k = 1; k < nodes; ++k)
-    net.addResistor(static_cast<int>(k), static_cast<int>(k + 1), val(gen));
+    net.addResistor(static_cast<int>(k), static_cast<int>(k + 1), val());
   // Shunt capacitors (skip every 5th node when sprinkling singular-E spots;
   // those nodes still touch resistors, so they become nondynamic modes).
   for (std::size_t k = 1; k <= nodes; ++k) {
     if (sprinkleImpulsive && k % 5 == 0) continue;
-    net.addCapacitor(static_cast<int>(k), 0, val(gen) * 1e-6);
+    net.addCapacitor(static_cast<int>(k), 0, val() * 1e-6);
   }
   // Random extra branches: resistive and damped inductive cross links.
   // Inductive links go through a dedicated midnode in series with a small
@@ -123,7 +132,7 @@ ds::DescriptorSystem makeRandomRlcNetwork(std::size_t nodes, unsigned seed,
   const std::size_t extras = nodes;
   std::vector<std::pair<int, int>> links;
   for (std::size_t k = 0; k < extras; ++k) {
-    int a = pick(gen), b = pick(gen);
+    int a = pick(), b = pick();
     if (a == b) continue;
     links.emplace_back(a, b);
   }
@@ -149,11 +158,11 @@ ds::DescriptorSystem makeRandomRlcNetwork(std::size_t nodes, unsigned seed,
   for (std::size_t k = 0; k < links.size(); ++k) {
     const auto [a, b] = links[k];
     if (k % 2 == 0) {
-      full.addResistor(a, nextNode, 0.1 * val(gen));
-      full.addInductor(nextNode, b, val(gen) * 1e-3);
+      full.addResistor(a, nextNode, 0.1 * val());
+      full.addInductor(nextNode, b, val() * 1e-3);
       ++nextNode;
     } else {
-      full.addResistor(a, b, val(gen));
+      full.addResistor(a, b, val());
     }
   }
   return stampMna(full);

@@ -57,7 +57,8 @@ StableSubspace stableInvariantSubspace(const Matrix& h, double imagTol) {
     if (std::abs(l.real()) <= cut) return out;  // ok = false
   }
   const std::size_t k = linalg::reorderSchur(
-      rs.t, rs.q, [](std::complex<double> l) { return l.real() < 0.0; });
+      rs.t, rs.q, [](std::complex<double> l) { return l.real() < 0.0; },
+      &out.reorder);
   if (k != np) return out;  // uneven split: not a clean Hamiltonian spectrum
   out.x1 = rs.q.block(0, 0, np, np);
   out.x2 = rs.q.block(np, 0, np, np);

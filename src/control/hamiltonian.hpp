@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/schur_reorder.hpp"
 
 namespace shhpass::control {
 
@@ -28,6 +29,9 @@ struct StableSubspace {
   linalg::Matrix lambda;  ///< Quasi-triangular np x np stable block.
   bool ok = false;        ///< False if eigenvalues lie on/near the imaginary
                           ///< axis and the spectrum cannot be split in half.
+  /// Health record of the Schur reordering that separated the spectrum
+  /// (swap/reject counts, max residual, drift bound).
+  linalg::ReorderReport reorder;
 };
 
 /// Compute the stable invariant subspace of a Hamiltonian matrix via ordered

@@ -17,6 +17,7 @@
 #include "core/proper_part.hpp"
 #include "ds/descriptor.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/schur_reorder.hpp"
 
 namespace shhpass::core {
 
@@ -49,6 +50,12 @@ struct PassivityResult {
   std::size_t impulsiveChains = 0;    ///< Grade-2 chain count of G.
   ProperPartResult properPart;        ///< The decoupled stable proper part
                                       ///< (the paper's "sidetrack").
+  /// Health of the Schur reordering behind the Eq.-(22) stable/antistable
+  /// split (swap/reject counts, max residual, eigenvalue drift bound).
+  /// A nonzero rejectedSwaps means some exchanges were numerically
+  /// ill-posed and the ordering is incomplete — a LosslessAxisModes
+  /// verdict is then conservative rather than certain.
+  linalg::ReorderReport reorder;
 };
 
 /// Options for the proposed test.

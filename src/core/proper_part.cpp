@@ -67,6 +67,7 @@ ProperPartResult extractProperPart(const shh::ShhRealization& s3,
 
   // (Eqs. 22-23) Split the Hamiltonian spectrum and decouple.
   shh::HamiltonianDecoupling dec = shh::decoupleHamiltonian(out.a4, imagTol);
+  out.reorder = dec.reorder;
   if (!dec.ok) return out;  // imaginary-axis eigenvalues: cannot split
 
   Matrix c5 = c4 * dec.z2;

@@ -13,6 +13,7 @@
 // A4 = Z_L A3 Z_R Hamiltonian and B4 = J C4^T.
 #pragma once
 
+#include "linalg/schur_reorder.hpp"
 #include "shh/shh_pencil.hpp"
 
 namespace shhpass::core {
@@ -27,6 +28,8 @@ struct ProperPartResult {
   linalg::Matrix dHalf;     ///< m x m feedthrough D_phi / 2.
   linalg::Matrix a4;        ///< The intermediate Hamiltonian A4 (diagnostic).
   double condNormalizer = 1.0;  ///< cond of the E3 normalizing factor K.
+  /// Health record of the Schur reordering behind the Eq.-(22) split.
+  linalg::ReorderReport reorder;
 };
 
 /// Extract the stable proper part from an impulse-free SHH realization with

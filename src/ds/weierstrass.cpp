@@ -69,9 +69,15 @@ WeierstrassForm weierstrass(const DescriptorSystem& sys, double infTol) {
   for (double cutScale : {1.0, 10.0, 100.0, 1000.0}) {
     rs = rsOrig;
     const double cut = cutScale * infTol * std::max(muMax, 1e-300);
+    linalg::ReorderReport rep;
     q = linalg::reorderSchur(
         rs.t, rs.q,
-        [cut](std::complex<double> l) { return std::abs(l) > cut; });
+        [cut](std::complex<double> l) { return std::abs(l) > cut; }, &rep);
+    // A rejected swap means a borderline eigenvalue pair straddles the
+    // cut and could not be exchanged: the "infinite" trailing block may
+    // still hold a finite mode. Treat the attempt as failed and retry
+    // with a coarser cut, which absorbs the pair into one group.
+    if (rep.rejectedSwaps > 0) continue;
     k = n - q;
     m11 = rs.t.block(0, 0, q, q);
     m22 = rs.t.block(q, q, k, k);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/hessenberg.hpp"
+#include "linalg/schur_reorder.hpp"
 
 namespace shhpass::linalg {
 namespace {
@@ -246,13 +247,51 @@ RealSchurResult realSchur(const Matrix& a) {
         sub <= eps * (std::abs(res.t(i, i)) + std::abs(res.t(i + 1, i + 1))))
       res.t(i + 1, i) = 0.0;
   }
-  res.eigenvalues.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) res.eigenvalues.emplace_back(d[i], e[i]);
+  repairQuasiTriangularStructure(res.t);
+  // Standardize every remaining 2x2 block (shared dlanv2 kernel): complex
+  // pairs get equal diagonals and opposite-sign off-diagonals; blocks whose
+  // eigenvalues turn out real are split into 1x1 blocks. Downstream block
+  // logic (reordering, invariant-subspace extraction) relies on this form.
+  standardizeQuasiTriangular(res.t, res.q);
+  // Extract eigenvalues from the standardized quasi-triangular factor so
+  // (t, eigenvalues) are exactly consistent.
+  res.eigenvalues = quasiTriangularEigenvalues(res.t);
   return res;
 }
 
 std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
   return realSchur(a).eigenvalues;
+}
+
+void repairQuasiTriangularStructure(Matrix& t) {
+  const std::size_t n = t.rows();
+  // Only entries negligible at the global scale may be zeroed: removing
+  // one is a backward-stable perturbation of size <= tol. Overlapping
+  // blocks whose subdiagonals are BOTH significant mean the input is not
+  // a real Schur form at all — refuse rather than silently destroy an
+  // O(1) entry (the certified-residual contract of the reordering layer
+  // would otherwise report clean() on a corrupted spectrum).
+  const double tol =
+      16.0 * std::numeric_limits<double>::epsilon() * t.maxAbs();
+  bool again = n >= 3;
+  while (again) {
+    again = false;
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+      if (t(i + 1, i) != 0.0 && t(i + 2, i + 1) != 0.0) {
+        const double lo =
+            std::min(std::abs(t(i + 1, i)), std::abs(t(i + 2, i + 1)));
+        if (lo > tol)
+          throw std::invalid_argument(
+              "repairQuasiTriangularStructure: overlapping 2x2 blocks with "
+              "non-negligible subdiagonals (input is not quasi-triangular)");
+        if (std::abs(t(i + 1, i)) <= std::abs(t(i + 2, i + 1)))
+          t(i + 1, i) = 0.0;
+        else
+          t(i + 2, i + 1) = 0.0;
+        again = true;
+      }
+    }
+  }
 }
 
 std::vector<std::complex<double>> quasiTriangularEigenvalues(const Matrix& t) {

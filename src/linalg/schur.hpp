@@ -29,4 +29,14 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a);
 /// (1x1 and 2x2 diagonal blocks), without further factorization.
 std::vector<std::complex<double>> quasiTriangularEigenvalues(const Matrix& t);
 
+/// Repair an almost-quasi-triangular matrix so its diagonal block
+/// structure is well defined: whenever two consecutive subdiagonal entries
+/// are both nonzero (adjacent 2x2 blocks would overlap), zero the smaller
+/// one. Such entries are deflation leftovers the QR iteration judged
+/// negligible under its shifted diagonals; the final unshifted local
+/// cleanup can miss them even though they are eps-level relative to the
+/// matrix. Block-scanning code (reordering, eigenvalue extraction)
+/// requires this invariant.
+void repairQuasiTriangularStructure(Matrix& t);
+
 }  // namespace shhpass::linalg

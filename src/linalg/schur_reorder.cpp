@@ -1,6 +1,8 @@
 #include "linalg/schur_reorder.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -12,9 +14,139 @@
 namespace shhpass::linalg {
 namespace {
 
+double sign1(double x) { return x >= 0.0 ? 1.0 : -1.0; }
+
+// Plane rotation [cs sn; -sn cs] [f; g] = [r; 0] (dlartg).
+void givens(double f, double g, double& cs, double& sn) {
+  if (g == 0.0) {
+    cs = 1.0;
+    sn = 0.0;
+  } else if (f == 0.0) {
+    cs = 0.0;
+    sn = 1.0;
+  } else {
+    const double r = std::hypot(f, g);
+    cs = f / r;
+    sn = g / r;
+  }
+}
+
+// dlanv2: Schur factorization of a real 2x2 in standard form,
+//   [a b; c d] = R [a' b'; c' d'] R^T,   R = [cs -sn; sn cs],
+// where afterwards either c' = 0 (two real eigenvalues) or a' = d' and
+// b'*c' < 0 (standardized complex-conjugate pair).
+struct Lanv2 {
+  double a, b, c, d;  // standardized entries
+  double cs, sn;      // rotation
+};
+
+Lanv2 lanv2(double a, double b, double c, double d) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  double cs, sn;
+  if (c == 0.0) {
+    cs = 1.0;
+    sn = 0.0;
+  } else if (b == 0.0) {
+    // Swap rows and columns.
+    cs = 0.0;
+    sn = 1.0;
+    std::swap(a, d);
+    b = -c;
+    c = 0.0;
+  } else if (a - d == 0.0 && sign1(b) != sign1(c)) {
+    cs = 1.0;
+    sn = 0.0;
+  } else {
+    double temp = a - d;
+    double p = 0.5 * temp;
+    const double bcmax = std::max(std::abs(b), std::abs(c));
+    const double bcmis = std::min(std::abs(b), std::abs(c)) * sign1(b) *
+                         sign1(c);
+    const double scale = std::max(std::abs(p), bcmax);
+    double z = (p / scale) * p + (bcmax / scale) * bcmis;
+    if (z >= 4.0 * eps) {
+      // Real eigenvalues: compute a (rank-one modification).
+      z = p + std::copysign(std::sqrt(scale) * std::sqrt(z), p);
+      a = d + z;
+      d -= (bcmax / z) * bcmis;
+      const double tau = std::hypot(c, z);
+      cs = z / tau;
+      sn = c / tau;
+      b -= c;
+      c = 0.0;
+    } else {
+      // Complex eigenvalues, or real almost-equal eigenvalues: make the
+      // diagonal entries equal first.
+      const double sigma = b + c;
+      double tau = std::hypot(sigma, temp);
+      cs = std::sqrt(0.5 * (1.0 + std::abs(sigma) / tau));
+      sn = -(p / (tau * cs)) * sign1(sigma);
+      // [aa bb; cc dd] = [a b; c d] [cs -sn; sn cs]
+      const double aa = a * cs + b * sn, bb = -a * sn + b * cs;
+      const double cc = c * cs + d * sn, dd = -c * sn + d * cs;
+      // [a b; c d] = [cs sn; -sn cs] [aa bb; cc dd]
+      a = aa * cs + cc * sn;
+      b = bb * cs + dd * sn;
+      c = -aa * sn + cc * cs;
+      d = -bb * sn + dd * cs;
+      temp = 0.5 * (a + d);
+      a = temp;
+      d = temp;
+      if (c != 0.0) {
+        if (b != 0.0) {
+          if (sign1(b) == sign1(c)) {
+            // Real eigenvalues after all: reduce to upper triangular.
+            const double sab = std::sqrt(std::abs(b));
+            const double sac = std::sqrt(std::abs(c));
+            p = std::copysign(sab * sac, c);
+            tau = 1.0 / std::sqrt(std::abs(b + c));
+            a = temp + p;
+            d = temp - p;
+            b -= c;
+            c = 0.0;
+            const double cs1 = sab * tau, sn1 = sac * tau;
+            temp = cs * cs1 - sn * sn1;
+            sn = cs * sn1 + sn * cs1;
+            cs = temp;
+          }
+        } else {
+          b = -c;
+          c = 0.0;
+          temp = cs;
+          cs = -sn;
+          sn = temp;
+        }
+      }
+    }
+  }
+  return Lanv2{a, b, c, d, cs, sn};
+}
+
+// Apply the similarity T <- R^T T R, Q <- Q R with the plane rotation
+// R = [cs -sn; sn cs] acting on coordinates j, j+1.
+void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn) {
+  const std::size_t n = t.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    const double x = t(j, col), y = t(j + 1, col);
+    t(j, col) = cs * x + sn * y;
+    t(j + 1, col) = -sn * x + cs * y;
+  }
+  for (std::size_t row = 0; row < n; ++row) {
+    const double x = t(row, j), y = t(row, j + 1);
+    t(row, j) = cs * x + sn * y;
+    t(row, j + 1) = -sn * x + cs * y;
+    const double qx = q(row, j), qy = q(row, j + 1);
+    q(row, j) = cs * qx + sn * qy;
+    q(row, j + 1) = -sn * qx + cs * qy;
+  }
+}
+
 // Solve the small Sylvester equation A X - X B = C (A p x p, B q x q,
-// p, q <= 2) by the Kronecker-product linear system.
-Matrix smallSylvester(const Matrix& a, const Matrix& b, const Matrix& c) {
+// p, q <= 2) by the Kronecker-product linear system. Returns false when the
+// system is numerically singular (the blocks share an eigenvalue and the
+// exchange is ill-posed).
+bool smallSylvester(const Matrix& a, const Matrix& b, const Matrix& c,
+                    Matrix& x) {
   const std::size_t p = a.rows(), q = b.rows();
   Matrix k(p * q, p * q);
   // vec is column-major: x_{i,j} -> index j*p + i.
@@ -28,14 +160,12 @@ Matrix smallSylvester(const Matrix& a, const Matrix& b, const Matrix& c) {
   for (std::size_t j = 0; j < q; ++j)
     for (std::size_t i = 0; i < p; ++i) rhs(j * p + i, 0) = c(i, j);
   LU lu(k);
-  if (lu.isSingular(1e-13))
-    throw std::runtime_error(
-        "reorderSchur: adjacent blocks share an eigenvalue; swap ill-posed");
+  if (lu.isSingular(1e-13)) return false;
   Matrix xv = lu.solve(rhs);
-  Matrix x(p, q);
+  x = Matrix(p, q);
   for (std::size_t j = 0; j < q; ++j)
     for (std::size_t i = 0; i < p; ++i) x(i, j) = xv(j * p + i, 0);
-  return x;
+  return true;
 }
 
 // Block sizes of a quasi-triangular matrix starting at each block row.
@@ -67,109 +197,216 @@ std::complex<double> blockEigenvalue(const Matrix& t, std::size_t j,
   return {tr2, std::sqrt(-disc)};
 }
 
-// If the 2x2 block at (j, j) has REAL eigenvalues (blocks like this appear
-// when swaps perturb a near-degenerate complex pair onto the real axis),
-// rotate it to upper-triangular form so it becomes two 1x1 blocks, and
-// return true. Leaving such a block fused would make the eigenvalue
-// selection treat its two — possibly differently classified — real
-// eigenvalues as a unit and miscount the reordered split.
-bool splitRealBlock(Matrix& t, Matrix& q, std::size_t j) {
-  const std::size_t n = t.rows();
-  const double a11 = t(j, j), a12 = t(j, j + 1);
-  const double a21 = t(j + 1, j), a22 = t(j + 1, j + 1);
-  const double tr2 = (a11 + a22) / 2.0;
-  const double det = a11 * a22 - a12 * a21;
-  const double disc = tr2 * tr2 - det;
-  if (disc < 0.0) return false;  // genuine complex pair: leave fused
-  const double lambda = tr2 + (tr2 >= 0.0 ? 1.0 : -1.0) * std::sqrt(disc);
-  // Eigenvector of [a11 a12; a21 a22] for `lambda`, taken from whichever
-  // row gives the better-conditioned representation.
-  double v1 = a12, v2 = lambda - a11;
-  if (std::abs(lambda - a22) + std::abs(a21) >
-      std::abs(v1) + std::abs(v2)) {
-    v1 = lambda - a22;
-    v2 = a21;
-  }
-  const double nrm = std::hypot(v1, v2);
-  if (nrm == 0.0) return false;  // defective beyond help; leave it
-  const double c = v1 / nrm, s = v2 / nrm;
-  // Givens G = [c -s; s c] maps e1 onto the eigenvector: G^T B G is upper
-  // triangular with `lambda` in the (0,0) slot. Apply the similarity to
-  // the full T and accumulate into Q, as in swapSchurBlocks.
-  for (std::size_t col = 0; col < n; ++col) {
-    const double x = t(j, col), y = t(j + 1, col);
-    t(j, col) = c * x + s * y;
-    t(j + 1, col) = -s * x + c * y;
-  }
-  for (std::size_t row = 0; row < n; ++row) {
-    const double x = t(row, j), y = t(row, j + 1);
-    t(row, j) = c * x + s * y;
-    t(row, j + 1) = -s * x + c * y;
-    const double qx = q(row, j), qy = q(row, j + 1);
-    q(row, j) = c * qx + s * qy;
-    q(row, j + 1) = -s * qx + c * qy;
-  }
-  t(j + 1, j) = 0.0;
-  return true;
+// Standardize the 2x2 block at (j, j) if one lives there, counting the
+// operation in `report` when it changed the matrix. Returns true when the
+// block was split into two real 1x1 blocks.
+bool standardizeBlockAt(Matrix& t, Matrix& q, std::size_t j,
+                        ReorderReport* report) {
+  if (j + 1 >= t.rows() || t(j + 1, j) == 0.0) return false;
+  const double a = t(j, j), b = t(j, j + 1);
+  const double c = t(j + 1, j), d = t(j + 1, j + 1);
+  const bool split = standardize2x2(t, q, j);
+  if (report &&
+      (t(j, j) != a || t(j, j + 1) != b || t(j + 1, j) != c ||
+       t(j + 1, j + 1) != d))
+    ++report->standardizations;
+  return split;
 }
 
 }  // namespace
 
-void swapSchurBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
-                     std::size_t qsz) {
+void ReorderReport::absorb(const ReorderReport& other) {
+  swaps += other.swaps;
+  rejectedSwaps += other.rejectedSwaps;
+  maxResidual = std::max(maxResidual, other.maxResidual);
+  eigenvalueDrift += other.eigenvalueDrift;
+  standardizations += other.standardizations;
+}
+
+void standardizeQuasiTriangular(Matrix& t, Matrix& q,
+                                ReorderReport* report) {
+  const std::size_t n = t.rows();
+  std::size_t i = 0;
+  while (i + 1 < n) {
+    if (t(i + 1, i) != 0.0) {
+      standardizeBlockAt(t, q, i, report);
+      i += (t(i + 1, i) != 0.0) ? 2 : 1;
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool standardize2x2(Matrix& t, Matrix& q, std::size_t j) {
+  const std::size_t n = t.rows();
+  if (j + 2 > n) throw std::invalid_argument("standardize2x2: out of range");
+  const Lanv2 st = lanv2(t(j, j), t(j, j + 1), t(j + 1, j), t(j + 1, j + 1));
+  if (st.cs != 1.0 || st.sn != 0.0) applyRotation(t, q, j, st.cs, st.sn);
+  // Overwrite the block with the exact dlanv2 outputs: the critical
+  // entries (equal diagonals, exact zero on a split) must not carry the
+  // round-off of the full-row/column update.
+  t(j, j) = st.a;
+  t(j, j + 1) = st.b;
+  t(j + 1, j) = st.c;
+  t(j + 1, j + 1) = st.d;
+  return st.c == 0.0;
+}
+
+bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
+                        std::size_t qsz, ReorderReport* report) {
   const std::size_t n = t.rows();
   const std::size_t w = p + qsz;
-  if (j + w > n) throw std::invalid_argument("swapSchurBlocks: out of range");
-  Matrix a11 = t.block(j, j, p, p);
-  Matrix a12 = t.block(j, j + p, p, qsz);
-  Matrix a22 = t.block(j + p, j + p, qsz, qsz);
+  if (p == 0 || p > 2 || qsz == 0 || qsz > 2 || j + w > n)
+    throw std::invalid_argument("swapAdjacentBlocks: out of range");
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  const std::complex<double> l1 = blockEigenvalue(t, j, p);
+  const std::complex<double> l2 = blockEigenvalue(t, j + p, qsz);
+
+  if (p == 1 && qsz == 1) {
+    // Direct exchange by one exact Givens rotation (dlaexc, N1 = N2 = 1):
+    // [t12; t22 - t11] is the eigenvector of the window for t22; rotating
+    // it onto e1 swaps the diagonal. Always backward stable, never
+    // rejected, and the swapped diagonal entries are set exactly.
+    const double t11 = t(j, j), t22 = t(j + 1, j + 1);
+    double cs, sn;
+    givens(t(j, j + 1), t22 - t11, cs, sn);
+    applyRotation(t, q, j, cs, sn);
+    t(j, j) = t22;
+    t(j + 1, j + 1) = t11;
+    t(j + 1, j) = 0.0;
+    if (report) ++report->swaps;  // exact: residual 0, drift 0
+    return true;
+  }
+
+  // General case (a 2x2 block involved): local Sylvester solve + QR, with
+  // the transformation rehearsed on a window copy so a numerically bad
+  // exchange can be rejected before touching t.
+  const Matrix a11 = t.block(j, j, p, p);
+  const Matrix a12 = t.block(j, j + p, p, qsz);
+  const Matrix a22 = t.block(j + p, j + p, qsz, qsz);
 
   // Solve A11 X - X A22 = A12; then the columns of [-X; I] span the
   // invariant subspace of [A11 A12; 0 A22] belonging to A22's eigenvalues.
-  Matrix x = smallSylvester(a11, a22, a12);
+  Matrix x;
+  if (!smallSylvester(a11, a22, a12, x)) {
+    if (report) ++report->rejectedSwaps;
+    return false;
+  }
   Matrix stack(w, qsz);
   stack.setBlock(0, 0, -1.0 * x);
   stack.setBlock(p, 0, Matrix::identity(qsz));
   QR qr(stack);
-  Matrix g = qr.fullQ();  // w x w orthogonal, leading qsz cols span subspace
+  const Matrix g = qr.fullQ();  // w x w; leading qsz cols span the subspace
 
-  // Apply the similarity on the window: rows j..j+w-1 and cols j..j+w-1 of
-  // the full matrix, plus the coupling rows/columns outside the window.
-  // T <- G^T T G restricted appropriately; Q <- Q G.
-  // Rows of the window across all columns j..n-1:
-  Matrix rows = t.block(j, 0, w, n);
-  Matrix newRows = multiply(g, true, rows, false);
-  t.setBlock(j, 0, newRows);
-  // Columns of the window across all rows 0..j+w-1:
-  Matrix cols = t.block(0, j, n, w);
-  Matrix newCols = cols * g;
-  t.setBlock(0, j, newCols);
-  // Accumulate into q.
-  Matrix qcols = q.block(0, j, n, w);
+  // Rehearse on the window: the lower-left qsz columns of G^T W G must
+  // vanish; their largest survivor is the backward error the swap would
+  // commit. Reject when it exceeds a small multiple of eps * ||window||
+  // (dlaexc's acceptance threshold).
+  const Matrix window = t.block(j, j, w, w);
+  const Matrix rehearsed =
+      multiply(multiply(g, true, window, false), false, g, false);
+  double residual = 0.0;
+  for (std::size_t r = qsz; r < w; ++r)
+    for (std::size_t c = 0; c < qsz; ++c)
+      residual = std::max(residual, std::abs(rehearsed(r, c)));
+  const double smlnum = std::numeric_limits<double>::min() / eps;
+  const double thresh = std::max(10.0 * eps * window.maxAbs(), smlnum);
+  if (residual > thresh) {
+    // The window-local threshold (dlaexc's choice) is too strict when the
+    // window entries are small relative to the full matrix: upstream
+    // orthogonal transforms already deposit round-off at the global scale,
+    // so a residual at eps * ||T|| is as backward stable as the Schur
+    // decomposition itself. Only reject a swap whose residual exceeds the
+    // global-scale threshold too — that is the signature of a genuinely
+    // ill-posed exchange (nearly shared eigenvalues), where force-zeroing
+    // would visibly corrupt the spectrum.
+    const double globalThresh = std::max(20.0 * eps * t.maxAbs(), smlnum);
+    if (residual > globalThresh) {
+      if (report) ++report->rejectedSwaps;
+      return false;
+    }
+  }
+
+  // Accepted: apply the similarity to the full matrix. Rows of the window
+  // across all columns, columns of the window across all rows (entries
+  // outside the quasi-triangular profile are exact zeros and stay zero),
+  // and accumulate into q.
+  const Matrix rows = t.block(j, 0, w, n);
+  t.setBlock(j, 0, multiply(g, true, rows, false));
+  const Matrix cols = t.block(0, j, n, w);
+  t.setBlock(0, j, cols * g);
+  const Matrix qcols = q.block(0, j, n, w);
   q.setBlock(0, j, qcols * g);
 
-  // Zero the now-decoupled lower-left block of the window and any
-  // round-off below it.
+  // Zero the decoupled lower-left block (its content — the residual — was
+  // certified negligible above).
   for (std::size_t r = qsz; r < w; ++r)
-    for (std::size_t c = 0; c < std::min(r, qsz); ++c) t(j + r, j + c) = 0.0;
-  // Clean the interior subdiagonals of the swapped 1x1 blocks.
-  if (qsz == 1 && p == 1) t(j + 1, j) = 0.0;
-  // 2x2 blocks whose eigenvalues drifted onto the real axis are NOT
-  // handled here: reorderSchur splits them (splitRealBlock) before each
-  // selection pass, because a fused real pair straddling the selection
-  // boundary would be misclassified as a unit.
+    for (std::size_t c = 0; c < qsz; ++c) t(j + r, j + c) = 0.0;
+
+  // Re-standardize the swapped blocks (a swap can leave a 2x2 block with
+  // unequal diagonals, or push a near-degenerate pair onto the real axis,
+  // in which case it is split into two 1x1 blocks).
+  if (qsz == 2) standardizeBlockAt(t, q, j, report);
+  if (p == 2) standardizeBlockAt(t, q, j + qsz, report);
+
+  if (report) {
+    ++report->swaps;
+    report->maxResidual = std::max(report->maxResidual, residual);
+    // Eigenvalue drift committed by this swap: blocks are exchanged, so
+    // block2's pair now leads at j and block1's trails at j + qsz.
+    const std::size_t s2 =
+        (qsz == 2 && t(j + 1, j) == 0.0) ? 1 : qsz;  // split halves are 1x1
+    const std::size_t s1 =
+        (p == 2 && t(j + qsz + 1, j + qsz) == 0.0) ? 1 : p;
+    double drift =
+        std::abs(blockEigenvalue(t, j, s2) - l2) +
+        std::abs(blockEigenvalue(t, j + qsz, s1) - l1);
+    // A split block's eigenvalue pair collapsed onto the real axis: the
+    // imaginary part it lost is drift too; blockEigenvalue already reports
+    // the representative, so the |.| distance above covers it.
+    report->eigenvalueDrift += drift;
+  }
+  return true;
 }
 
 std::size_t reorderSchur(Matrix& t, Matrix& q,
-                         const EigenvalueSelector& select) {
+                         const EigenvalueSelector& select,
+                         ReorderReport* report) {
   const std::size_t n = t.rows();
   if (q.rows() != n || q.cols() != n)
     throw std::invalid_argument("reorderSchur: shape mismatch");
-  // Bubble selected blocks to the top, one adjacent swap at a time.
-  // `target` is the row index where the next selected block should land.
+  ReorderReport local;
+  ReorderReport& rep = report ? *report : local;
+  rep = ReorderReport{};
+
+  // Block scans assume a well-defined quasi-triangular structure; inputs
+  // assembled outside realSchur may carry negligible deflation leftovers
+  // that make adjacent 2x2 blocks overlap.
+  repairQuasiTriangularStructure(t);
+
+  // Standardization pass: every 2x2 block is brought to standard form, and
+  // fused blocks whose eigenvalues are actually real are split into 1x1
+  // blocks so the selector classifies each half independently.
+  standardizeQuasiTriangular(t, q, &rep);
+
+  // Bubble selected blocks to the top. `target` is the row where the next
+  // selected block should land; everything above it is finalized. One scan
+  // over the blocks, top to bottom, attempts to move each selected block
+  // exactly once: every accepted swap updates the `starts`/`sizes`
+  // bookkeeping of the two exchanged blocks, so the scan stays consistent
+  // across completed and partial bubbles alike, and a rejected exchange
+  // (tallied in the report) is simply left in place for the rest of the
+  // scan — it is only ever re-attempted when a split forces a rescan, as
+  // the split may have dissolved the offending block. Only a
+  // SPLIT — a swap's internal standardization dissolving a 2x2 block into
+  // two 1x1s whose halves may classify differently — invalidates the
+  // structure and forces a rescan; splits are bounded by n, so this
+  // terminates.
   std::size_t target = 0;
-  while (true) {
-    // Re-scan block structure (swaps can perturb positions).
+  bool rescan = true;
+  while (rescan) {
+    rescan = false;
     std::vector<std::size_t> sizes = blockSizes(t);
     std::vector<std::size_t> starts(sizes.size());
     std::size_t pos = 0;
@@ -177,33 +414,35 @@ std::size_t reorderSchur(Matrix& t, Matrix& q,
       starts[b] = pos;
       pos += sizes[b];
     }
-    // Standardize: swaps can push a near-degenerate complex pair onto the
-    // real axis, leaving a fused 2x2 block with two real eigenvalues that
-    // the selector could classify differently. Split those into 1x1 blocks
-    // and re-scan before selecting.
-    bool didSplit = false;
-    for (std::size_t b = 0; b < sizes.size(); ++b)
-      if (sizes[b] == 2 && splitRealBlock(t, q, starts[b])) didSplit = true;
-    if (didSplit) continue;
-    // Find the first selected block at or after `target`.
-    std::size_t bsel = sizes.size();
-    for (std::size_t b = 0; b < sizes.size(); ++b) {
+    for (std::size_t b = 0; b < sizes.size() && !rescan; ++b) {
       if (starts[b] < target) continue;
-      if (select(blockEigenvalue(t, starts[b], sizes[b]))) {
-        bsel = b;
-        break;
+      if (!select(blockEigenvalue(t, starts[b], sizes[b]))) continue;
+      // Bubble block b upward until it reaches `target`, a swap is
+      // rejected, or a split forces a rescan.
+      std::size_t cur = b;
+      while (starts[cur] > target) {
+        const std::size_t szAbove = sizes[cur - 1];
+        const std::size_t szMove = sizes[cur];
+        if (!swapAdjacentBlocks(t, q, starts[cur - 1], szAbove, szMove,
+                                &rep))
+          break;
+        const std::size_t newPos = starts[cur - 1];
+        const bool movedSplit =
+            szMove == 2 && t(newPos + 1, newPos) == 0.0;
+        const bool aboveSplit =
+            szAbove == 2 &&
+            t(newPos + szMove + 1, newPos + szMove) == 0.0;
+        sizes[cur - 1] = szMove;
+        sizes[cur] = szAbove;
+        starts[cur] = starts[cur - 1] + szMove;
+        --cur;
+        if (movedSplit || aboveSplit) {
+          rescan = true;
+          break;
+        }
       }
+      if (!rescan && starts[cur] == target) target += sizes[cur];
     }
-    if (bsel == sizes.size()) break;  // no more selected blocks below target
-    // Bubble block bsel upward until it sits at `target`.
-    std::size_t b = bsel;
-    while (b > 0 && starts[b] > target) {
-      swapSchurBlocks(t, q, starts[b - 1], sizes[b - 1], sizes[b]);
-      std::swap(sizes[b - 1], sizes[b]);
-      starts[b] = starts[b - 1] + sizes[b - 1];
-      --b;
-    }
-    target += sizes[b];
   }
   return target;
 }

@@ -12,6 +12,7 @@ using linalg::Matrix;
 HamiltonianDecoupling decoupleHamiltonian(const Matrix& h, double imagTol) {
   HamiltonianDecoupling out;
   control::StableSubspace ss = control::stableInvariantSubspace(h, imagTol);
+  out.reorder = ss.reorder;
   if (!ss.ok) return out;
   const std::size_t np = ss.x1.rows();
   if (np == 0) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/schur_reorder.hpp"
 
 namespace shhpass::shh {
 
@@ -17,6 +18,8 @@ struct HamiltonianDecoupling {
                           ///< diag(lambda, -lambda^T).
   linalg::Matrix z2inv;   ///< Explicit inverse of z2 ([I -Y; 0 I] Z1^T).
   linalg::Matrix y;       ///< Lyapunov solution used in the decoupling.
+  /// Reordering health of the underlying Eq.-(22) Schur split.
+  linalg::ReorderReport reorder;
 };
 
 /// Decouple a Hamiltonian matrix H (2np x 2np). `imagTol` is passed to the

@@ -237,6 +237,28 @@ TEST(ApiJson, ReportSerializesTheDecisionPath) {
   EXPECT_NE(doc.find("\"m1\":[["), std::string::npos);
 }
 
+TEST(ApiJson, ReportCarriesReorderHealth) {
+  // The reorder health of the Eq.-(22) Schur split is part of the decision
+  // path: swap/reject counts and residual bounds must appear in the JSON,
+  // and a clean run carries no warnings.
+  PassivityAnalyzer analyzer;
+  Result<AnalysisReport> r =
+      analyzer.analyze(circuits::makeBenchmarkModel(25, true));
+  ASSERT_TRUE(r.ok()) << r.status().toString();
+  EXPECT_TRUE(r->passive);
+  EXPECT_GT(r->reorder.swaps, 0u);
+  EXPECT_EQ(r->reorder.rejectedSwaps, 0u);
+  EXPECT_TRUE(r->warnings.empty());
+  const std::string doc = r->toJson();
+  EXPECT_NE(doc.find("\"reorder\":{\"swaps\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"rejectedSwaps\":0"), std::string::npos);
+  EXPECT_NE(doc.find("\"maxResidual\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"eigenvalueDrift\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"warnings\":[]"), std::string::npos);
+  EXPECT_STREQ(api::warningName(Warning::ReorderSwapRejected),
+               "REORDER_SWAP_REJECTED");
+}
+
 // -------------------------------------------------------------------- batch
 
 TEST(ApiBatch, MixedBatchMatchesSequentialSingleShot) {

@@ -124,6 +124,31 @@ TEST(Generators, TwoPortLadderIsSquareTwoByTwo) {
   EXPECT_EQ(sys.numOutputs(), 2u);
 }
 
+TEST(Generators, ModelGeneratorsAreBitDeterministic) {
+  // Golden verdicts and BENCH trajectory rows are only comparable across
+  // runs and platforms if the generators are pure functions of their
+  // arguments. makeBenchmarkModel is parameter-driven (no RNG at all) and
+  // makeRandomRlcNetwork derives everything from its explicit seed, so two
+  // invocations must agree BIT-FOR-BIT — not merely approximately.
+  auto expectIdentical = [](const DescriptorSystem& a,
+                            const DescriptorSystem& b) {
+    EXPECT_TRUE(a.e.approxEqual(b.e, 0.0));
+    EXPECT_TRUE(a.a.approxEqual(b.a, 0.0));
+    EXPECT_TRUE(a.b.approxEqual(b.b, 0.0));
+    EXPECT_TRUE(a.c.approxEqual(b.c, 0.0));
+    EXPECT_TRUE(a.d.approxEqual(b.d, 0.0));
+  };
+  for (bool impulsive : {false, true})
+    expectIdentical(makeBenchmarkModel(25, impulsive),
+                    makeBenchmarkModel(25, impulsive));
+  for (unsigned seed : {7u, 42u})
+    expectIdentical(makeRandomRlcNetwork(9, seed, true),
+                    makeRandomRlcNetwork(9, seed, true));
+  // Distinct seeds must actually differ (the seed is not ignored).
+  EXPECT_FALSE(makeRandomRlcNetwork(9, 7u).a.approxEqual(
+      makeRandomRlcNetwork(9, 8u).a, 0.0));
+}
+
 TEST(Generators, RandomNetworkRegularAndStable) {
   for (unsigned seed : {1u, 2u, 3u}) {
     DescriptorSystem sys = makeRandomRlcNetwork(8, seed);

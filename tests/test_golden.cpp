@@ -81,6 +81,16 @@ TEST(Golden, PassiveWithDiagnostics) {
   EXPECT_GT(r.removedImpulsive, 0u);
 }
 
+TEST(Golden, ReorderHealthOnWellConditionedSeed) {
+  // On a tiny well-conditioned model every adjacent-block exchange of the
+  // Eq.-(22) split must be accepted, with residual and drift at round-off.
+  core::PassivityResult r = core::testPassivityShh(goldenCircuit());
+  EXPECT_EQ(r.reorder.rejectedSwaps, 0u);
+  EXPECT_TRUE(r.reorder.clean());
+  EXPECT_LE(r.reorder.maxResidual, 1e-10);
+  EXPECT_LE(r.reorder.eigenvalueDrift, 1e-8);
+}
+
 TEST(Golden, MarginIsSeriesResistance) {
   core::PassivityMargin pm = core::passivityMargin(goldenCircuit(), 1e-8);
   ASSERT_TRUE(pm.defined);

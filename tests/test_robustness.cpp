@@ -136,6 +136,26 @@ TEST(Robustness, RepeatedInvocationDeterminism) {
   EXPECT_TRUE(a.m1.approxEqual(b.m1, 0.0));
 }
 
+TEST(Robustness, ImpulsiveBenchmarkModelsNoFalseLosslessVerdict) {
+  // Regression: before the residual-checked Schur reordering, the long
+  // bubbling sequences on the proper-part Hamiltonian of
+  // makeBenchmarkModel(25, true) drifted eigenvalues across the imaginary
+  // axis, miscounted the stable/antistable split, and produced a false
+  // LOSSLESS_AXIS_MODES verdict on a passive RLC ladder. All impulsive
+  // benchmark orders must now come back passive, with every adjacent-block
+  // exchange accepted.
+  for (std::size_t order : {25u, 30u, 35u}) {
+    ds::DescriptorSystem g = circuits::makeBenchmarkModel(order, true);
+    core::PassivityResult r = core::testPassivityShh(g);
+    EXPECT_TRUE(r.passive)
+        << "order=" << order << ": " << core::failureStageName(r.failure);
+    EXPECT_NE(r.failure, core::FailureStage::LosslessAxisModes)
+        << "order=" << order;
+    EXPECT_EQ(r.reorder.rejectedSwaps, 0u) << "order=" << order;
+    EXPECT_GT(r.reorder.swaps, 0u) << "order=" << order;
+  }
+}
+
 TEST(Robustness, NearlyPassiveBoundaryCases) {
   // G = eps + 1/(s+1) for tiny eps stays passive; G = -eps + ... flips
   // once eps is resolvable. Verifies the verdict degrades monotonically.

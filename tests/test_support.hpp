@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
 
 #include "linalg/blas.hpp"
@@ -12,6 +13,37 @@
 namespace shhpass::testing {
 
 using linalg::Matrix;
+
+/// Deterministic xorshift64* PRNG for property-based tests. Unlike
+/// std::mt19937 + distributions, the full sequence (including the floating
+/// point mapping) is pinned by this header, so seeded test cases are
+/// bit-reproducible across platforms and standard libraries.
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform integer in [0, n).
+  std::size_t pick(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+  /// Fair coin.
+  bool flip() { return (next() & 1ull) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
 
 /// Deterministic uniform [-1, 1] random matrix.
 inline Matrix randomMatrix(std::size_t r, std::size_t c, unsigned seed) {
