@@ -1,7 +1,10 @@
 // Micro-benchmarks (google-benchmark) of the numerical kernels underneath
-// the passivity tests: SVD, real Schur, reordering, the isotropic-Arnoldi
+// the passivity tests: blocked vs reference gemm, blocked vs unblocked
+// Hessenberg, SVD, real Schur, reordering, the isotropic-Arnoldi
 // reduction, and the stage-1 deflation. Useful for tracking the O(n^3)
-// scaling claims at the kernel level.
+// scaling claims at the kernel level. (bench_pipeline is the
+// dependency-free macro harness that persists BENCH_pipeline.json; this
+// binary is for interactive kernel iteration.)
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -9,6 +12,8 @@
 #include "circuits/generators.hpp"
 #include "core/impulse_deflation.hpp"
 #include "core/phi_builder.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/hessenberg.hpp"
 #include "linalg/schur.hpp"
 #include "linalg/schur_reorder.hpp"
 #include "linalg/svd.hpp"
@@ -39,6 +44,62 @@ Matrix randomSkewHamiltonian(std::size_t half, unsigned seed) {
   w.setBlock(half, half, a.transposed());
   return w;
 }
+
+void BM_GemmReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 40), b = randomMatrix(n, 41), c(n, n);
+  for (auto _ : state) {
+    linalg::gemmReference(1.0, a, false, b, false, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmReference)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 40), b = randomMatrix(n, 41), c(n, n);
+  for (auto _ : state) {
+    linalg::gemmBlocked(1.0, a, false, b, false, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmBlocked)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+void BM_HessenbergUnblocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 46);
+  for (auto _ : state) {
+    auto hr = linalg::hessenbergUnblocked(a);
+    benchmark::DoNotOptimize(hr.h);
+  }
+  state.SetComplexityN(state.range(0));
+}
+// Ranges start at kHessenbergCrossover: below it hessenberg() dispatches
+// to the unblocked kernel and the comparison would be self-vs-self.
+BENCHMARK(BM_HessenbergUnblocked)
+    ->RangeMultiplier(2)
+    ->Range(128, 512)
+    ->Complexity();
+
+void BM_HessenbergBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 46);
+  for (auto _ : state) {
+    auto hr = linalg::hessenberg(a);
+    benchmark::DoNotOptimize(hr.h);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HessenbergBlocked)
+    ->RangeMultiplier(2)
+    ->Range(128, 512)
+    ->Complexity();
 
 void BM_Svd(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

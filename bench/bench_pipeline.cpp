@@ -1,0 +1,208 @@
+// Persisted benchmark trajectory of the full analyzer pipeline.
+//
+// Runs the public PassivityAnalyzer on the Table-1 benchmark family at a
+// fixed ladder of orders, records per-stage wall times from the stage
+// pipeline's StageTrace records plus reorder health, measures the dense
+// kernels (naive vs blocked gemm, unblocked vs blocked Hessenberg) in
+// GFLOP/s, and writes everything as BENCH_pipeline.json.
+//
+// The JSON schema is documented in docs/BENCHMARKS.md; the committed
+// BENCH_pipeline.json at the repository root is one trajectory point per
+// PR, so future speedups land as comparable rows, not anecdotes. CI runs
+// the --quick variant and validates the emitted file against the schema
+// (tools/validate_bench_json.py).
+//
+// Usage:
+//   bench_pipeline [--quick] [--reps N] [--threads N] [--out PATH]
+//     --quick      orders {100} (CI smoke); default orders {100,200,400,800}
+//     --reps N     timed repetitions per order, best-of (default 3; the
+//                  per-stage breakdown comes from the fastest rep)
+//     --threads N  enable the gemm thread pool (default 1 = serial; the
+//                  committed trajectory is recorded single-threaded so
+//                  rows stay comparable across machines)
+//     --out PATH   output file (default BENCH_pipeline.json in the cwd)
+//
+// Determinism contract (bench_support.hpp): every model is a pure
+// function of its printed order; wall times are the only nondeterministic
+// values in the file.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "bench_support.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/hessenberg.hpp"
+
+namespace {
+
+using namespace shhpass;
+
+struct KernelRow {
+  const char* kernel;
+  std::size_t n;
+  const char* variant;
+  double seconds;
+  double gflops;
+};
+
+// Best-of-reps kernel timing in GFLOP/s (flops given by the caller).
+KernelRow timeKernel(const char* kernel, std::size_t n, const char* variant,
+                     double flops, int reps,
+                     const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, bench::timeSeconds(fn));
+  return {kernel, n, variant, best, flops / best / 1e9};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> orders = {100, 200, 400, 800};
+  int reps = 3;
+  std::size_t threads = 1;
+  std::string outPath = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      orders = {100};
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+  linalg::setGemmThreads(threads);  // 0 = hardware concurrency
+
+  api::json::Writer w;
+  w.beginObject();
+  w.key("schema").value("shhpass-bench-pipeline");
+  w.key("schemaVersion").value(std::size_t{1});
+  w.key("timeUnit").value("seconds");
+  w.key("gemmThreads").value(linalg::gemmThreads());
+  w.key("reps").value(static_cast<std::size_t>(reps));
+
+  // ------------------------------------------------------------- pipeline
+  const api::PassivityAnalyzer analyzer;
+  // Warmup: one full analysis at the smallest order primes allocators and
+  // the CPU frequency governor before anything is timed.
+  (void)analyzer.analyze(circuits::makeBenchmarkModel(orders.front(), true));
+
+  std::printf("# shhpass bench_pipeline (reps=%d, gemmThreads=%zu)\n", reps,
+              linalg::gemmThreads());
+  std::printf("%-8s %-10s %-14s %-8s %-5s %-10s\n", "order", "total",
+              "bottleneck", "swaps", "rej", "maxresid");
+
+  w.key("pipeline").beginArray();
+  for (std::size_t order : orders) {
+    const ds::DescriptorSystem g = circuits::makeBenchmarkModel(order, true);
+    std::optional<api::AnalysisReport> best;
+    for (int r0 = 0; r0 < reps; ++r0) {
+      api::Result<api::AnalysisReport> r = analyzer.analyze(g);
+      if (!r.ok()) {
+        std::fprintf(stderr, "analysis failed at order %zu: %s\n", order,
+                     r.status().toString().c_str());
+        return 1;
+      }
+      if (!best || r->totalSeconds < best->totalSeconds)
+        best = std::move(r.value());
+    }
+    const api::AnalysisReport& rep = *best;
+
+    const api::StageTrace* slowest = nullptr;
+    for (const api::StageTrace& t : rep.stages)
+      if (!slowest || t.seconds > slowest->seconds) slowest = &t;
+    std::printf("%-8zu %-10.4f %-14s %-8zu %-5zu %-10.2e\n", order,
+                rep.totalSeconds, slowest ? slowest->name.c_str() : "-",
+                rep.reorder.swaps, rep.reorder.rejectedSwaps,
+                rep.reorder.maxResidual);
+    std::fflush(stdout);
+
+    w.beginObject();
+    w.key("order").value(order);
+    w.key("ports").value(rep.ports);
+    w.key("passive").value(rep.passive);
+    w.key("properOrder").value(rep.properOrder);
+    w.key("totalSeconds").value(rep.totalSeconds);
+    w.key("stages").beginArray();
+    for (const api::StageTrace& t : rep.stages) {
+      w.beginObject();
+      w.key("name").value(t.name);
+      w.key("seconds").value(t.seconds);
+      w.endObject();
+    }
+    w.endArray();
+    w.key("reorder").beginObject();
+    w.key("swaps").value(rep.reorder.swaps);
+    w.key("rejectedSwaps").value(rep.reorder.rejectedSwaps);
+    w.key("maxResidual").value(rep.reorder.maxResidual);
+    w.key("eigenvalueDrift").value(rep.reorder.eigenvalueDrift);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+
+  // -------------------------------------------------------------- kernels
+  // Single-matrix sizes chosen so the largest matches the top pipeline
+  // order and the acceptance gate (blocked >= 3x naive at n = 800).
+  std::vector<std::size_t> kernelSizes = orders.size() == 1
+                                             ? std::vector<std::size_t>{256}
+                                             : std::vector<std::size_t>{
+                                                   256, 400, 800};
+  std::vector<KernelRow> rows;
+  std::printf("\n%-10s %-6s %-10s %-10s %-10s\n", "kernel", "n", "variant",
+              "seconds", "GFLOP/s");
+  for (std::size_t n : kernelSizes) {
+    const linalg::Matrix a = bench::seededMatrix(n, n, 2 * n + 1);
+    const linalg::Matrix b = bench::seededMatrix(n, n, 3 * n + 7);
+    linalg::Matrix c(n, n);
+    const double gemmFlops = 2.0 * static_cast<double>(n) * n * n;
+    rows.push_back(timeKernel("gemm", n, "reference", gemmFlops, reps, [&] {
+      linalg::gemmReference(1.0, a, false, b, false, 0.0, c);
+    }));
+    rows.push_back(timeKernel("gemm", n, "blocked", gemmFlops, reps, [&] {
+      linalg::gemmBlocked(1.0, a, false, b, false, 0.0, c);
+    }));
+    // 10/3 n^3 for the reduction + 4/3 n^3 for the Q accumulation.
+    const double hessFlops = 14.0 / 3.0 * static_cast<double>(n) * n * n;
+    rows.push_back(
+        timeKernel("hessenberg", n, "unblocked", hessFlops, reps,
+                   [&] { linalg::hessenbergUnblocked(a); }));
+    rows.push_back(timeKernel("hessenberg", n, "blocked", hessFlops, reps,
+                              [&] { linalg::hessenberg(a); }));
+  }
+  w.key("kernels").beginArray();
+  for (const KernelRow& r : rows) {
+    std::printf("%-10s %-6zu %-10s %-10.4f %-10.2f\n", r.kernel, r.n,
+                r.variant, r.seconds, r.gflops);
+    w.beginObject();
+    w.key("kernel").value(r.kernel);
+    w.key("n").value(r.n);
+    w.key("variant").value(r.variant);
+    w.key("seconds").value(r.seconds);
+    w.key("gflops").value(r.gflops);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  std::FILE* f = std::fopen(outPath.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", outPath.c_str());
+    return 1;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", outPath.c_str());
+  return 0;
+}

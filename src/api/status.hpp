@@ -87,7 +87,7 @@ class Status {
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<CODE_NAME>: <message>".
+  /// "OK", or the code name followed by ": " and the message.
   std::string toString() const;
 
  private:

@@ -12,17 +12,33 @@ namespace shhpass::control {
 
 using linalg::Matrix;
 
+namespace {
+
+// J * H for the symplectic unit J = [0 I; -I 0] is a signed row swap,
+// J [A B; C D] = [C D; -A -B] — formed directly in O(n^2) instead of the
+// historical O(n^3) dense product with an explicit J.
+Matrix symplecticJTimes(const Matrix& h) {
+  const std::size_t n2 = h.rows(), n = n2 / 2;
+  Matrix jh(n2, n2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n2; ++j) {
+      jh(i, j) = h(n + i, j);
+      jh(n + i, j) = -h(i, j);
+    }
+  return jh;
+}
+
+}  // namespace
+
 bool isHamiltonian(const Matrix& h, double tol) {
   if (!h.isSquare() || h.rows() % 2 != 0) return false;
-  Matrix j = Matrix::symplecticJ(h.rows() / 2);
-  Matrix jh = j * h;
+  Matrix jh = symplecticJTimes(h);
   return jh.isSymmetric(tol * std::max(1.0, jh.maxAbs()));
 }
 
 bool isSkewHamiltonian(const Matrix& w, double tol) {
   if (!w.isSquare() || w.rows() % 2 != 0) return false;
-  Matrix j = Matrix::symplecticJ(w.rows() / 2);
-  Matrix jw = j * w;
+  Matrix jw = symplecticJTimes(w);
   return jw.isSkewSymmetric(tol * std::max(1.0, jw.maxAbs()));
 }
 

@@ -1,19 +1,204 @@
 #include "linalg/blas.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "api/thread_pool.hpp"
 
 namespace shhpass::linalg {
+namespace {
 
-void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
-          bool transB, double beta, Matrix& c) {
-  const std::size_t m = transA ? a.cols() : a.rows();
-  const std::size_t k = transA ? a.rows() : a.cols();
+constexpr std::size_t MR = kGemmMr;
+constexpr std::size_t NR = kGemmNr;
+constexpr std::size_t MC = kGemmMc;
+constexpr std::size_t KC = kGemmKc;
+constexpr std::size_t NC = kGemmNc;
+
+// ------------------------------------------------------------- thread pool
+// The kernel pool is created lazily on the first setGemmThreads(t > 1) and
+// torn down / resized on later calls. It is shared process-wide; see the
+// threading contract in blas.hpp.
+std::mutex gPoolMutex;
+std::unique_ptr<api::ThreadPool> gPool;
+std::size_t gThreads = 1;
+
+// ---------------------------------------------------------------- packing
+// Packed A block: op(A)(i0 : i0+mb, p0 : p0+kb) * alpha, laid out as
+// ceil(mb/MR) row strips; within a strip the kb columns are k-major with
+// MR contiguous values each (zero-padded past mb). The micro-kernel then
+// reads A with unit stride whatever transA was.
+void packA(const Matrix& a, bool transA, double alpha, std::size_t i0,
+           std::size_t mb, std::size_t p0, std::size_t kb, double* buf) {
+  const std::size_t strips = (mb + MR - 1) / MR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t r0 = s * MR;
+    const std::size_t rValid = std::min(MR, mb - r0);
+    double* out = buf + s * kb * MR;
+    for (std::size_t k = 0; k < kb; ++k) {
+      for (std::size_t r = 0; r < rValid; ++r)
+        out[k * MR + r] = alpha * (transA ? a(p0 + k, i0 + r0 + r)
+                                          : a(i0 + r0 + r, p0 + k));
+      for (std::size_t r = rValid; r < MR; ++r) out[k * MR + r] = 0.0;
+    }
+  }
+}
+
+// Packed B panel: op(B)(p0 : p0+kb, j0 : j0+nb), laid out as ceil(nb/NR)
+// column strips; within a strip the kb rows are k-major with NR contiguous
+// values each (zero-padded past nb).
+void packB(const Matrix& b, bool transB, std::size_t p0, std::size_t kb,
+           std::size_t j0, std::size_t nb, double* buf) {
+  const std::size_t strips = (nb + NR - 1) / NR;
+  for (std::size_t s = 0; s < strips; ++s) {
+    const std::size_t c0 = s * NR;
+    const std::size_t cValid = std::min(NR, nb - c0);
+    double* out = buf + s * kb * NR;
+    for (std::size_t k = 0; k < kb; ++k) {
+      for (std::size_t c = 0; c < cValid; ++c)
+        out[k * NR + c] = transB ? b(j0 + c0 + c, p0 + k)
+                                 : b(p0 + k, j0 + c0 + c);
+      for (std::size_t c = cValid; c < NR; ++c) out[k * NR + c] = 0.0;
+    }
+  }
+}
+
+// ----------------------------------------------------------- micro-kernel
+// out(MR x NR) = sum_k ap[k] * bp[k]^T over one packed panel pair. The
+// accumulators are function-local (provably alias-free), so the compiler
+// keeps all MR*NR of them in vector registers across the K loop; `out` is
+// written once at the end.
+//
+// The same body is compiled twice: a portable baseline, and (on x86-64
+// GCC/Clang) an AVX2+FMA clone selected once at startup via
+// __builtin_cpu_supports. Which clone runs affects rounding (FMA
+// contraction) exactly as switching BLAS backends would; it does not
+// affect the determinism contract, which holds per machine.
+#define SHHPASS_GEMM_MICRO_BODY                                       \
+  double acc[MR][NR] = {};                                            \
+  for (std::size_t k = 0; k < kb; ++k, ap += MR, bp += NR) {          \
+    for (std::size_t i = 0; i < MR; ++i) {                            \
+      const double ai = ap[i];                                        \
+      for (std::size_t j = 0; j < NR; ++j) acc[i][j] += ai * bp[j];   \
+    }                                                                 \
+  }                                                                   \
+  for (std::size_t i = 0; i < MR; ++i)                                \
+    for (std::size_t j = 0; j < NR; ++j) out[i * NR + j] = acc[i][j];
+
+void microKernelGeneric(std::size_t kb, const double* ap, const double* bp,
+                        double* out) {
+  SHHPASS_GEMM_MICRO_BODY
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SHHPASS_GEMM_X86_DISPATCH 1
+__attribute__((target("avx2,fma"))) void microKernelAvx2(
+    std::size_t kb, const double* ap, const double* bp, double* out) {
+  SHHPASS_GEMM_MICRO_BODY
+}
+#endif
+#undef SHHPASS_GEMM_MICRO_BODY
+
+using MicroKernelFn = void (*)(std::size_t, const double*, const double*,
+                               double*);
+
+// Function-local static: safe to call from any translation unit's static
+// initializers (a namespace-scope pointer would be null until this TU's
+// dynamic initialization ran).
+MicroKernelFn microKernel() {
+  static const MicroKernelFn fn = [] {
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+    __builtin_cpu_init();  // may run before main
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return MicroKernelFn{microKernelAvx2};
+#endif
+    return MicroKernelFn{microKernelGeneric};
+  }();
+  return fn;
+}
+
+// ------------------------------------------------------------ macro-level
+// Blocked gemm restricted to the C columns [j0, j0+nb): this is the unit
+// of column-panel threading. Each element of C is accumulated over K in
+// the same order regardless of [j0, nb), which is what makes the threaded
+// kernel bit-deterministic.
+void gemmBlockedCols(double alpha, const Matrix& a, bool transA,
+                     const Matrix& b, bool transB, double beta, Matrix& c,
+                     std::size_t m, std::size_t n, std::size_t k,
+                     std::size_t j0, std::size_t nb) {
+  (void)n;
+  double* cdata = c.data();
+  const std::size_t ldc = c.cols();
+
+  if (beta != 1.0)
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = j0; j < j0 + nb; ++j) cdata[i * ldc + j] *= beta;
+  if (k == 0 || alpha == 0.0) return;
+
+  std::vector<double> apack(MC * KC);
+  std::vector<double> bpack(KC * ((std::min(nb, NC) + NR - 1) / NR) * NR);
+  double tile[MR * NR];
+  const MicroKernelFn micro = microKernel();
+
+  for (std::size_t jc = j0; jc < j0 + nb; jc += NC) {
+    const std::size_t ncur = std::min(NC, j0 + nb - jc);
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kcur = std::min(KC, k - pc);
+      packB(b, transB, pc, kcur, jc, ncur, bpack.data());
+      for (std::size_t ic = 0; ic < m; ic += MC) {
+        const std::size_t mcur = std::min(MC, m - ic);
+        packA(a, transA, alpha, ic, mcur, pc, kcur, apack.data());
+        const std::size_t mStrips = (mcur + MR - 1) / MR;
+        const std::size_t nStrips = (ncur + NR - 1) / NR;
+        for (std::size_t jr = 0; jr < nStrips; ++jr) {
+          const double* bp = bpack.data() + jr * kcur * NR;
+          const std::size_t cValid = std::min(NR, ncur - jr * NR);
+          for (std::size_t ir = 0; ir < mStrips; ++ir) {
+            const double* ap = apack.data() + ir * kcur * MR;
+            const std::size_t rValid = std::min(MR, mcur - ir * MR);
+            micro(kcur, ap, bp, tile);
+            double* ctile =
+                cdata + (ic + ir * MR) * ldc + (jc + jr * NR);
+            // Interior tiles take the unclipped fast path; edge tiles do
+            // the same arithmetic with a clipped write-back.
+            if (rValid == MR && cValid == NR) {
+              for (std::size_t i = 0; i < MR; ++i)
+                for (std::size_t j = 0; j < NR; ++j)
+                  ctile[i * ldc + j] += tile[i * NR + j];
+            } else {
+              for (std::size_t i = 0; i < rValid; ++i)
+                for (std::size_t j = 0; j < cValid; ++j)
+                  ctile[i * ldc + j] += tile[i * NR + j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void checkGemmShapes(const Matrix& a, bool transA, const Matrix& b,
+                     bool transB, const Matrix& c, std::size_t& m,
+                     std::size_t& n, std::size_t& k) {
+  m = transA ? a.cols() : a.rows();
+  k = transA ? a.rows() : a.cols();
   const std::size_t kb = transB ? b.cols() : b.rows();
-  const std::size_t n = transB ? b.rows() : b.cols();
+  n = transB ? b.rows() : b.cols();
   if (k != kb) throw std::invalid_argument("gemm: inner dimension mismatch");
   if (c.rows() != m || c.cols() != n)
     throw std::invalid_argument("gemm: output shape mismatch");
+}
+
+}  // namespace
+
+void gemmReference(double alpha, const Matrix& a, bool transA,
+                   const Matrix& b, bool transB, double beta, Matrix& c) {
+  std::size_t m, n, k;
+  checkGemmShapes(a, transA, b, transB, c, m, n, k);
 
   if (beta != 1.0) c *= beta;
   auto A = [&](std::size_t i, std::size_t p) {
@@ -29,6 +214,73 @@ void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
       for (std::size_t j = 0; j < n; ++j) c(i, j) += v * B(p, j);
     }
   }
+}
+
+void gemmBlocked(double alpha, const Matrix& a, bool transA, const Matrix& b,
+                 bool transB, double beta, Matrix& c) {
+  std::size_t m, n, k;
+  checkGemmShapes(a, transA, b, transB, c, m, n, k);
+  if (m == 0 || n == 0) return;
+
+  std::size_t threads = 1;
+  api::ThreadPool* pool = nullptr;
+  if (m * n * k >= kGemmThreadedFlopFloor) {
+    std::lock_guard<std::mutex> lock(gPoolMutex);
+    if (gThreads > 1 && gPool) {
+      threads = gThreads;
+      pool = gPool.get();
+    }
+  }
+  // Fan out over disjoint column panels, at least one micro-tile wide, so
+  // workers never share a cache line of C and per-element accumulation
+  // order stays independent of the partition (bit-determinism).
+  const std::size_t maxPanels = std::max<std::size_t>(1, n / NR);
+  threads = std::min(threads, maxPanels);
+  if (threads <= 1 || pool == nullptr) {
+    gemmBlockedCols(alpha, a, transA, b, transB, beta, c, m, n, k, 0, n);
+    return;
+  }
+  const std::size_t chunk = ((n + threads - 1) / threads + NR - 1) / NR * NR;
+  for (std::size_t j0 = 0; j0 < n; j0 += chunk) {
+    const std::size_t nb = std::min(chunk, n - j0);
+    pool->submit([=, &a, &b, &c] {
+      gemmBlockedCols(alpha, a, transA, b, transB, beta, c, m, n, k, j0, nb);
+    });
+  }
+  pool->wait();
+}
+
+void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
+          bool transB, double beta, Matrix& c) {
+  std::size_t m, n, k;
+  checkGemmShapes(a, transA, b, transB, c, m, n, k);
+  // Thin or tiny products do not amortize the packing cost; the reference
+  // kernel is also the better gemv/ger. The dispatch is performance-only:
+  // both kernels implement the same contract.
+  if (m < MR || n < NR || k < 4 || m * n * k < kGemmBlockedFlopFloor) {
+    gemmReference(alpha, a, transA, b, transB, beta, c);
+    return;
+  }
+  gemmBlocked(alpha, a, transA, b, transB, beta, c);
+}
+
+std::size_t gemmThreads() {
+  std::lock_guard<std::mutex> lock(gPoolMutex);
+  return gPool ? gThreads : 1;
+}
+
+void setGemmThreads(std::size_t t) {
+  if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+  std::lock_guard<std::mutex> lock(gPoolMutex);
+  if (t <= 1) {
+    gPool.reset();
+    gThreads = 1;
+    return;
+  }
+  if (gPool && gThreads == t) return;
+  gPool.reset();  // join the old workers before replacing the pool
+  gPool = std::make_unique<api::ThreadPool>(t);
+  gThreads = t;
 }
 
 Matrix multiply(const Matrix& a, bool transA, const Matrix& b, bool transB) {

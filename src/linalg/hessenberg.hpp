@@ -1,9 +1,44 @@
 // Orthogonal reduction to upper Hessenberg form: A = Q H Q^T.
+//
+// Two implementations share the public entry point:
+//
+//   * hessenbergUnblocked — the EISPACK `orthes`/`ortran` lineage: one
+//     Householder similarity per column, applied as rank-1 updates. Kept
+//     as the reference implementation (and used for orders below the
+//     crossover, where its lower constant wins).
+//   * a blocked LAPACK dgehrd/dlahr2-style reduction (hessenberg.cpp):
+//     panels of kHessenbergBlock columns are reduced with lazily-applied
+//     updates, accumulating the compact-WY factors (V, T) and the product
+//     Y = A V T; the trailing matrix and the Q accumulation are then
+//     updated with a few large gemm calls (BLAS-3, ~80% of the flops).
+//
+// hessenberg() dispatches on kHessenbergCrossover. Both paths use the
+// same reflector sign convention (leading entry's sign is flipped), so
+// their H factors agree entrywise to O(n * eps * ||A||) — they are NOT
+// bitwise identical; any valid Hessenberg form is equally acceptable to
+// the Schur iteration downstream. Equivalence at 1e-11 (scaled) plus
+// reconstruction/orthogonality bounds are enforced by
+// tests/test_blas_blocked.cpp.
+//
+// Threading: the blocked path inherits whatever gemm does — enable
+// setGemmThreads() to parallelize the trailing updates; the panel
+// reduction itself is sequential either way, and results are
+// bit-identical for every thread count (see blas.hpp).
 #pragma once
+
+#include <cstddef>
 
 #include "linalg/matrix.hpp"
 
 namespace shhpass::linalg {
+
+/// Panel width of the blocked reduction (columns reduced per compact-WY
+/// block; also the K extent of the trailing-update gemms).
+inline constexpr std::size_t kHessenbergBlock = 32;
+/// Smallest order for which hessenberg() takes the blocked path. Below
+/// it the rank-1 EISPACK kernel is faster AND bit-identical to the
+/// pre-blocking implementation (seeded downstream tests rely on that).
+inline constexpr std::size_t kHessenbergCrossover = 128;
 
 /// Result of a Hessenberg reduction.
 struct HessenbergResult {
@@ -12,7 +47,13 @@ struct HessenbergResult {
 };
 
 /// Reduce a square matrix to upper Hessenberg form with Householder
-/// reflectors (EISPACK `orthes`/`ortran` lineage).
+/// reflectors. Dispatches between the blocked (large) and the unblocked
+/// (small) implementation; see the header comment.
 HessenbergResult hessenberg(const Matrix& a);
+
+/// The unblocked EISPACK `orthes`/`ortran` reference implementation.
+/// Exposed for the blocked-vs-reference equivalence tests and kernel
+/// benchmarks; production code should call hessenberg().
+HessenbergResult hessenbergUnblocked(const Matrix& a);
 
 }  // namespace shhpass::linalg

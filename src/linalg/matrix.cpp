@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "linalg/blas.hpp"
+
 namespace shhpass::linalg {
 
 Matrix::Matrix(std::size_t r, std::size_t c, double fill)
@@ -96,17 +98,10 @@ Matrix& Matrix::operator*=(double s) {
 Matrix operator*(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("Matrix*: inner dimension mismatch");
+  // Routed through the dispatching gemm so every product in the library
+  // (including this operator) rides the blocked BLAS-3 kernel when large.
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both b and c.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * b.cols();
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm(1.0, a, false, b, false, 0.0, c);
   return c;
 }
 

@@ -1,13 +1,38 @@
 // Householder QR factorization (optionally column-pivoted) and helpers for
 // building orthonormal bases, used pervasively by the deflation steps of the
 // SHH passivity pipeline.
+//
+// The non-pivoted factorization is blocked: panels of kQrBlock columns are
+// factored with the classical rank-1 kernel, then the panel's reflectors
+// are aggregated into a compact-WY factor (householder.hpp) and the
+// trailing columns are updated with three gemm calls (BLAS-3). applyQ /
+// applyQt use the same stored per-panel T factors. The pivoted path stays
+// unblocked — greedy column selection needs every trailing norm after each
+// reflector, which defeats update deferral — and small problems (rows
+// below kQrWyMinRows) also take the unblocked path, where the rank-1
+// kernel is both faster and bit-identical to the pre-blocking
+// implementation.
+//
+// Accuracy: blocked and unblocked paths are both backward stable and
+// agree to O(n * eps * ||A||) (different summation order, not bitwise);
+// equivalence at 1e-13 (scaled) is enforced by tests/test_blas_blocked.cpp.
+// Threading: inherits gemm's contract (blas.hpp) — bit-deterministic for
+// every setGemmThreads() setting.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace shhpass::linalg {
+
+/// Panel width of the blocked (non-pivoted) QR factorization.
+inline constexpr std::size_t kQrBlock = 32;
+/// Smallest row count for which the non-pivoted path blocks; below it the
+/// factorization and applications are bit-identical to the historical
+/// unblocked implementation.
+inline constexpr std::size_t kQrWyMinRows = 48;
 
 /// A P = Q R with Householder reflectors; P is identity unless pivoting is
 /// requested. Works for any m x n shape.
@@ -40,10 +65,23 @@ class QR {
   Matrix applyQ(const Matrix& b) const;
 
  private:
+  void factorUnblocked();
+  void factorBlocked();
+  /// Generate the Householder reflector for column k (below row k) in
+  /// place: v stored below the diagonal (unit leading entry implicit),
+  /// R entry on the diagonal, scalar in tau_[k]. Shared verbatim by both
+  /// factorization paths so their reflectors are bit-identical.
+  void generateReflector(std::size_t k);
+  /// Materialize panel [k0, k0+kb) reflectors as a dense V block
+  /// (householder.hpp convention: explicit unit diagonal, zeros above).
+  Matrix panelV(std::size_t k0, std::size_t kb) const;
+
   Matrix qr_;                   // reflectors below diagonal, R at/above
   std::vector<double> tau_;     // reflector scalars
   std::vector<std::size_t> perm_;
   bool pivoted_;
+  bool blocked_ = false;        // WY path enabled (non-pivoted, large)
+  std::vector<Matrix> tFactors_;  // one compact-WY T per panel
 };
 
 /// Orthonormal basis for the range (column space) of A, determined to

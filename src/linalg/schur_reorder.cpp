@@ -123,21 +123,67 @@ Lanv2 lanv2(double a, double b, double c, double d) {
 }
 
 // Apply the similarity T <- R^T T R, Q <- Q R with the plane rotation
-// R = [cs -sn; sn cs] acting on coordinates j, j+1.
+// R = [cs -sn; sn cs] acting on coordinates j, j+1 of a QUASI-TRIANGULAR
+// t: row updates start at column j (entries to the left are exact zeros
+// that R cannot perturb) and column updates stop at row j+1 (entries
+// below the block are exact zeros likewise) — the same values the
+// full-range update would produce, at half the work. Q has no structure
+// and gets full-height column updates.
 void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn) {
   const std::size_t n = t.rows();
-  for (std::size_t col = 0; col < n; ++col) {
+  for (std::size_t col = j; col < n; ++col) {
     const double x = t(j, col), y = t(j + 1, col);
     t(j, col) = cs * x + sn * y;
     t(j + 1, col) = -sn * x + cs * y;
   }
-  for (std::size_t row = 0; row < n; ++row) {
+  for (std::size_t row = 0; row < j + 2; ++row) {
     const double x = t(row, j), y = t(row, j + 1);
     t(row, j) = cs * x + sn * y;
     t(row, j + 1) = -sn * x + cs * y;
+  }
+  for (std::size_t row = 0; row < n; ++row) {
     const double qx = q(row, j), qy = q(row, j + 1);
     q(row, j) = cs * qx + sn * qy;
     q(row, j + 1) = -sn * qx + cs * qy;
+  }
+}
+
+// Apply an accepted w x w window transform G (w <= 4) in place:
+// T <- (G^T T G) restricted to the quasi-triangular profile, Q <- Q G.
+// Left update first, then the column updates on the already-left-updated
+// rows — the same sequencing the historical block-copy implementation
+// used, so accepted swaps produce identical values without materializing
+// any n-sized temporaries.
+void applyWindowSimilarity(Matrix& t, Matrix& q, const Matrix& g,
+                           std::size_t j) {
+  const std::size_t w = g.rows(), n = t.rows();
+  double tmp[4];
+  // Rows j..j+w-1 of T from column j rightward: T_rows <- G^T T_rows.
+  for (std::size_t c = j; c < n; ++c) {
+    for (std::size_t r = 0; r < w; ++r) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < w; ++k) s += g(k, r) * t(j + k, c);
+      tmp[r] = s;
+    }
+    for (std::size_t r = 0; r < w; ++r) t(j + r, c) = tmp[r];
+  }
+  // Columns j..j+w-1 of T down to row j+w-1: T_cols <- T_cols G.
+  for (std::size_t r = 0; r < j + w; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < w; ++k) s += t(r, j + k) * g(k, c);
+      tmp[c] = s;
+    }
+    for (std::size_t c = 0; c < w; ++c) t(r, j + c) = tmp[c];
+  }
+  // Q columns j..j+w-1, full height.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < w; ++k) s += q(r, j + k) * g(k, c);
+      tmp[c] = s;
+    }
+    for (std::size_t c = 0; c < w; ++c) q(r, j + c) = tmp[c];
   }
 }
 
@@ -328,16 +374,10 @@ bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
     }
   }
 
-  // Accepted: apply the similarity to the full matrix. Rows of the window
-  // across all columns, columns of the window across all rows (entries
-  // outside the quasi-triangular profile are exact zeros and stay zero),
-  // and accumulate into q.
-  const Matrix rows = t.block(j, 0, w, n);
-  t.setBlock(j, 0, multiply(g, true, rows, false));
-  const Matrix cols = t.block(0, j, n, w);
-  t.setBlock(0, j, cols * g);
-  const Matrix qcols = q.block(0, j, n, w);
-  q.setBlock(0, j, qcols * g);
+  // Accepted: apply the similarity in place, restricted to the
+  // quasi-triangular profile (see applyWindowSimilarity), and accumulate
+  // into q.
+  applyWindowSimilarity(t, q, g, j);
 
   // Zero the decoupled lower-left block (its content — the residual — was
   // certified negligible above).

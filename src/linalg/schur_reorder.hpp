@@ -11,6 +11,28 @@
 // vanish exceed a backward-stability threshold. 2x2 diagonal blocks are
 // kept in standard form (dlanv2-style): either split into two real 1x1
 // eigenvalues or rotated to a complex-pair block with equal diagonals.
+//
+// ## Kernels, threading, accuracy
+//
+// An accepted swap applies its w x w window transform (w <= 4) in place,
+// restricted to the quasi-triangular profile: the left update touches
+// rows j..j+w-1 from column j rightward, the right update columns
+// j..j+w-1 down to row j+w-1 — entries outside that profile are exact
+// zeros and provably stay zero, so O(swaps * n) work and all temporary
+// block copies are skipped (the historical implementation materialized
+// three n-sized blocks per swap). The rehearsal product and the local
+// Sylvester solve ride the shared gemm/LU kernels (blas.hpp); at window
+// size <= 4 those always take the small-kernel path.
+//
+// Threading: reordering is inherently sequential (each swap depends on
+// the previous one); nothing here uses the gemm thread pool, and results
+// are bit-deterministic run-to-run by construction.
+//
+// Accuracy: each accepted swap commits a backward error of at most
+// max(10 eps ||window||, 20 eps ||T||) (the acceptance thresholds below),
+// so a full reorder of s swaps perturbs T by O(s * eps * ||T||) in the
+// worst case; the per-swap residuals and a matched eigenvalue-drift bound
+// are tallied in ReorderReport rather than assumed.
 #pragma once
 
 #include <complex>

@@ -24,6 +24,9 @@ HamiltonianDecoupling decoupleHamiltonian(const Matrix& h, double imagTol) {
   // Z1 = [X1 -X2; X2 X1] is orthogonal symplectic because [X1; X2] is an
   // orthonormal Lagrangian basis (X1^T X2 symmetric, see the paper's
   // remark after Eq. 22). Then Z1^T H Z1 = [Lambda Ahat; 0 -Lambda^T].
+  // Both (2np)^3 products here ride the blocked BLAS-3 gemm (blas.hpp), as
+  // does the Z2 assembly below — this congruence is the dominant dense
+  // cost of the decoupling.
   Matrix z1 = lagrangianCompletion(ss.x1, ss.x2);
   Matrix t1 = linalg::multiply(linalg::atb(z1, h), false, z1, false);
   out.lambda = t1.block(0, 0, np, np);

@@ -1,0 +1,342 @@
+// Equivalence and determinism tests for the blocked BLAS-3 kernel layer:
+//
+//   * gemm/gemmBlocked vs the gemmReference oracle over seeded random
+//     shapes (including degenerate k = 0, 1 x n, tall/skinny, aliased
+//     inputs, and shapes straddling every blocking boundary);
+//   * compact-WY block reflector application vs the per-reflector loop;
+//   * blocked Hessenberg / QR vs their unblocked references;
+//   * bit-determinism of the threaded gemm for every thread count.
+//
+// Tolerance convention: blocked and reference kernels sum each element in
+// a different order, so they agree to the inner-product forward-error
+// bound, not bitwise. We assert |diff| <= 1e-13 * max(1, k) entrywise
+// (k the inner dimension): exactly 1e-13 for small products, scaled by
+// the provable error growth for long accumulations.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "linalg/blas.hpp"
+#include "linalg/hessenberg.hpp"
+#include "linalg/householder.hpp"
+#include "linalg/qr.hpp"
+#include "test_support.hpp"
+
+namespace shhpass::linalg {
+namespace {
+
+using testing::Xorshift;
+
+Matrix xorshiftMatrix(std::size_t r, std::size_t c, Xorshift& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+double maxAbsDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double w = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      w = std::max(w, std::abs(a(i, j) - b(i, j)));
+  return w;
+}
+
+bool bitIdentical(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(double) * a.rows() * a.cols()) == 0;
+}
+
+// Runs one (shape, op, alpha/beta) case through gemmReference and
+// gemmBlocked and asserts agreement within the scaled bound.
+void expectBlockedMatchesReference(std::size_t m, std::size_t k,
+                                   std::size_t n, bool ta, bool tb,
+                                   double alpha, double beta, Xorshift& rng) {
+  const Matrix a = ta ? xorshiftMatrix(k, m, rng) : xorshiftMatrix(m, k, rng);
+  const Matrix b = tb ? xorshiftMatrix(n, k, rng) : xorshiftMatrix(k, n, rng);
+  const Matrix c0 = xorshiftMatrix(m, n, rng);
+  Matrix cRef = c0, cBlk = c0;
+  gemmReference(alpha, a, ta, b, tb, beta, cRef);
+  gemmBlocked(alpha, a, ta, b, tb, beta, cBlk);
+  const double tol = 1e-13 * std::max<double>(1.0, static_cast<double>(k));
+  EXPECT_LE(maxAbsDiff(cRef, cBlk), tol)
+      << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
+      << " tb=" << tb << " alpha=" << alpha << " beta=" << beta;
+}
+
+// Restores serial kernels even when a test fails mid-body.
+struct GemmThreadsGuard {
+  ~GemmThreadsGuard() { setGemmThreads(1); }
+};
+
+TEST(GemmBlocked, MatchesReferenceOnSeededRandomShapes) {
+  Xorshift rng(0xb10c4ed);
+  const double alphas[] = {1.0, -0.75, 2.5};
+  const double betas[] = {0.0, 1.0, -0.3};
+  for (int cse = 0; cse < 48; ++cse) {
+    const std::size_t m = 1 + rng.pick(150);
+    const std::size_t k = 1 + rng.pick(150);
+    const std::size_t n = 1 + rng.pick(150);
+    expectBlockedMatchesReference(m, k, n, rng.flip(), rng.flip(),
+                                  alphas[rng.pick(3)], betas[rng.pick(3)],
+                                  rng);
+  }
+}
+
+TEST(GemmBlocked, ShapesStraddlingBlockingBoundaries) {
+  // One past each tile/panel edge: MR/NR, MC, KC, NC.
+  Xorshift rng(7);
+  const std::size_t probes[] = {kGemmMr + 1,  kGemmNr + 1, kGemmMc - 1,
+                                kGemmMc + 1,  kGemmKc + 1, kGemmNc + 1,
+                                2 * kGemmMr + 3};
+  for (std::size_t m : {kGemmMc - 1, kGemmMc + 1, std::size_t{70}})
+    for (std::size_t k : {kGemmKc - 1, kGemmKc + 1})
+      for (std::size_t n : probes)
+        expectBlockedMatchesReference(m, k, n, false, false, 1.0, 0.0, rng);
+}
+
+TEST(GemmBlocked, DegenerateShapes) {
+  Xorshift rng(11);
+  // k = 0: the product contributes nothing; C is scaled by beta only.
+  Matrix a(5, 0), b(0, 7);
+  Matrix c = xorshiftMatrix(5, 7, rng);
+  Matrix expected = c;
+  expected *= -0.5;
+  gemmBlocked(1.0, a, false, b, false, -0.5, c);
+  EXPECT_TRUE(bitIdentical(c, expected));
+
+  // Row-vector, column-vector, and empty-output shapes.
+  expectBlockedMatchesReference(1, 90, 90, false, false, 1.0, 0.0, rng);
+  expectBlockedMatchesReference(90, 90, 1, false, true, -1.0, 1.0, rng);
+  expectBlockedMatchesReference(1, 1, 1, true, true, 2.0, 0.5, rng);
+  Matrix e0(0, 4), eb(3, 0);
+  Matrix ec(0, 0);
+  gemmBlocked(1.0, e0, false, xorshiftMatrix(4, 0, rng), false, 0.0, ec);
+  EXPECT_TRUE(ec.empty());
+}
+
+TEST(GemmBlocked, TallAndSkinnyShapes) {
+  Xorshift rng(13);
+  expectBlockedMatchesReference(700, 3, 5, false, false, 1.0, 0.0, rng);
+  expectBlockedMatchesReference(3, 700, 5, true, false, 1.0, 1.0, rng);
+  expectBlockedMatchesReference(5, 3, 700, false, false, -2.0, 0.0, rng);
+  expectBlockedMatchesReference(300, 300, 9, false, true, 1.0, 0.0, rng);
+}
+
+TEST(GemmBlocked, AliasedInputsArePacked) {
+  // A Gram product passes the same object as both operands; the packing
+  // step must make this safe (C never aliases the inputs by contract).
+  Xorshift rng(17);
+  const Matrix a = xorshiftMatrix(120, 80, rng);
+  Matrix cRef(80, 80), cBlk(80, 80);
+  gemmReference(1.0, a, true, a, false, 0.0, cRef);
+  gemmBlocked(1.0, a, true, a, false, 0.0, cBlk);
+  EXPECT_LE(maxAbsDiff(cRef, cBlk), 1e-13 * 120.0);
+}
+
+TEST(GemmBlocked, DispatchedEntryPointAgreesWithBothKernels) {
+  // gemm() must implement the identical contract whichever kernel it
+  // picks — spot-check one shape on each side of the dispatch threshold.
+  Xorshift rng(19);
+  for (std::size_t n : {std::size_t{12}, std::size_t{96}}) {
+    const Matrix a = xorshiftMatrix(n, n, rng);
+    const Matrix b = xorshiftMatrix(n, n, rng);
+    Matrix c1(n, n), c2(n, n);
+    gemm(1.0, a, false, b, false, 0.0, c1);
+    gemmReference(1.0, a, false, b, false, 0.0, c2);
+    EXPECT_LE(maxAbsDiff(c1, c2), 1e-13 * static_cast<double>(n));
+  }
+}
+
+TEST(GemmThreads, BitDeterministicUnderThreadPool) {
+  // The threading contract (blas.hpp): identical bits for every thread
+  // count, run-to-run. Use a size big enough to clear the threaded-fanout
+  // floor so the pool is genuinely exercised.
+  GemmThreadsGuard guard;
+  Xorshift rng(23);
+  const std::size_t n = 256;
+  const Matrix a = xorshiftMatrix(n, n, rng);
+  const Matrix b = xorshiftMatrix(n, n, rng);
+  ASSERT_GE(n * n * n, kGemmThreadedFlopFloor);
+
+  Matrix serial(n, n);
+  setGemmThreads(1);
+  gemmBlocked(1.0, a, false, b, false, 0.0, serial);
+  for (std::size_t threads : {2u, 3u, 7u}) {
+    setGemmThreads(threads);
+    EXPECT_EQ(gemmThreads(), threads);
+    Matrix run1(n, n), run2(n, n);
+    gemmBlocked(1.0, a, false, b, false, 0.0, run1);
+    gemmBlocked(1.0, a, false, b, false, 0.0, run2);
+    EXPECT_TRUE(bitIdentical(run1, run2)) << threads << " threads, rerun";
+    EXPECT_TRUE(bitIdentical(run1, serial)) << threads << " threads vs serial";
+  }
+}
+
+// --------------------------------------------------------- compact-WY
+
+// Per-reflector application oracle: C := H_{k-1} ... H_0 C (transpose) or
+// C := H_0 ... H_{k-1} C, with H_j = I - tau_j v_j v_j^T.
+Matrix applyReflectorsOneByOne(const Matrix& v,
+                               const std::vector<double>& tau,
+                               bool transpose, Matrix c) {
+  const std::size_t k = v.cols(), m = v.rows();
+  for (std::size_t idx = 0; idx < k; ++idx) {
+    const std::size_t j = transpose ? idx : k - 1 - idx;
+    if (tau[j] == 0.0) continue;
+    for (std::size_t col = 0; col < c.cols(); ++col) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < m; ++i) s += v(i, j) * c(i, col);
+      s *= tau[j];
+      for (std::size_t i = 0; i < m; ++i) c(i, col) -= s * v(i, j);
+    }
+  }
+  return c;
+}
+
+// Builds a random forward-columnwise reflector block (column j supported
+// on rows j.., unit leading entry), optionally forcing one tau to zero.
+void randomReflectorBlock(std::size_t m, std::size_t k, Xorshift& rng,
+                          bool zeroTauColumn, Matrix& v,
+                          std::vector<double>& tau) {
+  v = Matrix(m, k);
+  tau.assign(k, 0.0);
+  std::vector<double> x(m), refl(m);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t len = m - j;
+    for (std::size_t i = 0; i < len; ++i)
+      x[i] = (zeroTauColumn && j == k / 2) ? (i == 0 ? 0.7 : 0.0)
+                                           : rng.uniform(-1.0, 1.0);
+    double beta;
+    tau[j] = makeReflector(x.data(), len, refl.data(), beta);
+    for (std::size_t i = 0; i < len; ++i) v(j + i, j) = refl[i];
+  }
+}
+
+TEST(CompactWy, BlockLeftApplicationMatchesPerReflector) {
+  Xorshift rng(29);
+  for (bool zeroTau : {false, true}) {
+    Matrix v;
+    std::vector<double> tau;
+    randomReflectorBlock(130, 17, rng, zeroTau, v, tau);
+    const Matrix t = buildCompactWyT(v, tau);
+    const Matrix c0 = xorshiftMatrix(130, 11, rng);
+    for (bool transpose : {false, true}) {
+      Matrix blocked = c0;
+      applyBlockReflectorLeft(v, t, transpose, blocked);
+      const Matrix oracle = applyReflectorsOneByOne(v, tau, transpose, c0);
+      EXPECT_LE(maxAbsDiff(blocked, oracle), 1e-13 * 130.0)
+          << "transpose=" << transpose << " zeroTau=" << zeroTau;
+    }
+  }
+}
+
+TEST(CompactWy, BlockRightApplicationMatchesPerReflector) {
+  Xorshift rng(31);
+  Matrix v;
+  std::vector<double> tau;
+  randomReflectorBlock(110, 13, rng, false, v, tau);
+  const Matrix t = buildCompactWyT(v, tau);
+  const Matrix c0 = xorshiftMatrix(9, 110, rng);
+  Matrix blocked = c0;
+  applyBlockReflectorRight(v, t, blocked);
+  // C Q = (Q^T C^T)^T with Q^T the transposed-left application.
+  const Matrix oracle =
+      applyReflectorsOneByOne(v, tau, true, c0.transposed()).transposed();
+  EXPECT_LE(maxAbsDiff(blocked, oracle), 1e-13 * 110.0);
+}
+
+TEST(CompactWy, ReflectorAnnihilatesAndIsOrthogonal) {
+  Xorshift rng(37);
+  std::vector<double> x(40), v(40);
+  for (double& e : x) e = rng.uniform(-2.0, 2.0);
+  double beta;
+  const double tau = makeReflector(x.data(), x.size(), v.data(), beta);
+  // H x = beta e1 exactly in exact arithmetic; check to roundoff.
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += v[i] * x[i];
+  std::vector<double> hx(x);
+  for (std::size_t i = 0; i < x.size(); ++i) hx[i] -= tau * s * v[i];
+  EXPECT_NEAR(hx[0], beta, 1e-13);
+  for (std::size_t i = 1; i < hx.size(); ++i) EXPECT_NEAR(hx[i], 0.0, 1e-13);
+  // Norm preservation (orthogonality of H).
+  double nx = 0.0, nhx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    nx += x[i] * x[i];
+    nhx += hx[i] * hx[i];
+  }
+  EXPECT_NEAR(std::sqrt(nx), std::sqrt(nhx), 1e-12);
+}
+
+// ----------------------------------------------- blocked Hessenberg / QR
+
+TEST(HessenbergBlocked, MatchesUnblockedReferenceAboveCrossover) {
+  Xorshift rng(41);
+  const std::size_t n = kHessenbergCrossover + 22;
+  const Matrix a = xorshiftMatrix(n, n, rng);
+  const HessenbergResult blocked = hessenberg(a);
+  const HessenbergResult reference = hessenbergUnblocked(a);
+  // Same reflector sign convention — the two H factors agree entrywise to
+  // accumulated roundoff, far below any structural difference.
+  EXPECT_LE(maxAbsDiff(blocked.h, reference.h), 1e-11 * a.normFrobenius());
+  // Structure: exact zeros below the first subdiagonal.
+  for (std::size_t i = 2; i < n; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j) EXPECT_EQ(blocked.h(i, j), 0.0);
+  // Reconstruction and orthogonality.
+  const Matrix rec =
+      multiply(blocked.q * blocked.h, false, blocked.q, true);
+  EXPECT_LE(maxAbsDiff(rec, a), 1e-12 * static_cast<double>(n));
+  Matrix qtq = atb(blocked.q, blocked.q);
+  for (std::size_t i = 0; i < n; ++i) qtq(i, i) -= 1.0;
+  EXPECT_LE(qtq.maxAbs(), 1e-13 * static_cast<double>(n));
+}
+
+TEST(HessenbergBlocked, DispatchBelowCrossoverIsBitIdenticalToReference) {
+  Xorshift rng(43);
+  const std::size_t n = kHessenbergCrossover / 2;
+  const Matrix a = xorshiftMatrix(n, n, rng);
+  const HessenbergResult viaDispatch = hessenberg(a);
+  const HessenbergResult reference = hessenbergUnblocked(a);
+  EXPECT_TRUE(bitIdentical(viaDispatch.h, reference.h));
+  EXPECT_TRUE(bitIdentical(viaDispatch.q, reference.q));
+}
+
+TEST(QrBlocked, BlockedFactorizationReconstructs) {
+  Xorshift rng(47);
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {kQrWyMinRows, 20}, {200, 200}, {260, 37}, {150, 230}};
+  for (auto [m, n] : shapes) {
+    const Matrix a = xorshiftMatrix(m, n, rng);
+    const QR qr(a);
+    const Matrix rec = qr.thinQ() * qr.r();
+    EXPECT_LE(maxAbsDiff(rec, a), 1e-12 * static_cast<double>(m))
+        << m << "x" << n;
+    Matrix q = qr.fullQ();
+    Matrix qtq = atb(q, q);
+    for (std::size_t i = 0; i < m; ++i) qtq(i, i) -= 1.0;
+    EXPECT_LE(qtq.maxAbs(), 1e-13 * static_cast<double>(m)) << m << "x" << n;
+    // applyQ / applyQt are mutual inverses.
+    const Matrix b = xorshiftMatrix(m, 5, rng);
+    EXPECT_LE(maxAbsDiff(qr.applyQ(qr.applyQt(b)), b),
+              1e-13 * static_cast<double>(m))
+        << m << "x" << n;
+  }
+}
+
+TEST(QrBlocked, RankDeficientColumnsKeepExactTauZeroSemantics) {
+  // A zero column inside a blocked panel must produce tau = 0 (H = I) and
+  // still factor/reconstruct exactly like the unblocked convention.
+  Xorshift rng(53);
+  Matrix a = xorshiftMatrix(96, 12, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, 4) = 0.0;
+  const QR qr(a);
+  const Matrix rec = qr.thinQ() * qr.r();
+  EXPECT_LE(maxAbsDiff(rec, a), 1e-12 * 96.0);
+}
+
+}  // namespace
+}  // namespace shhpass::linalg

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_pipeline.json file against the documented schema.
+
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 1). Stdlib
+only — CI runs this after the bench smoke job with no pip installs.
+
+Usage: validate_bench_json.py PATH [--expect-order N]...
+Exit status 0 when the file conforms, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+PIPELINE_STAGES = [
+    "prerequisites",
+    "build-phi",
+    "impulse-deflation",
+    "nondynamic-removal",
+    "m1-extraction",
+    "proper-part",
+    "pr-test",
+]
+
+
+def fail(msg):
+    print(f"validate_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_number(obj, key, ctx, minimum=None):
+    require(key in obj, f"{ctx}: missing key '{key}'")
+    value = obj[key]
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{ctx}: '{key}' must be a number, got {type(value).__name__}",
+    )
+    if minimum is not None:
+        require(value >= minimum, f"{ctx}: '{key}' = {value} < {minimum}")
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument(
+        "--expect-order",
+        type=int,
+        action="append",
+        default=[],
+        help="require a pipeline row at this order (repeatable)",
+    )
+    args = parser.parse_args()
+
+    with open(args.path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    require(doc.get("schema") == "shhpass-bench-pipeline",
+            f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
+    require(doc.get("schemaVersion") == 1,
+            f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
+    require(doc.get("timeUnit") == "seconds",
+            f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
+    check_number(doc, "gemmThreads", "root", minimum=1)
+    check_number(doc, "reps", "root", minimum=1)
+
+    pipeline = doc.get("pipeline")
+    require(isinstance(pipeline, list) and pipeline,
+            "pipeline must be a non-empty array")
+    seen_orders = set()
+    for i, row in enumerate(pipeline):
+        ctx = f"pipeline[{i}]"
+        require(isinstance(row, dict), f"{ctx}: must be an object")
+        order = int(check_number(row, "order", ctx, minimum=1))
+        seen_orders.add(order)
+        check_number(row, "ports", ctx, minimum=1)
+        require(isinstance(row.get("passive"), bool),
+                f"{ctx}: 'passive' must be a bool")
+        check_number(row, "properOrder", ctx, minimum=0)
+        total = check_number(row, "totalSeconds", ctx, minimum=0.0)
+        stages = row.get("stages")
+        require(isinstance(stages, list) and stages,
+                f"{ctx}: 'stages' must be a non-empty array")
+        stage_sum = 0.0
+        names = []
+        for j, stage in enumerate(stages):
+            sctx = f"{ctx}.stages[{j}]"
+            require(isinstance(stage, dict), f"{sctx}: must be an object")
+            require(isinstance(stage.get("name"), str) and stage["name"],
+                    f"{sctx}: 'name' must be a non-empty string")
+            names.append(stage["name"])
+            stage_sum += check_number(stage, "seconds", sctx, minimum=0.0)
+        require(names == PIPELINE_STAGES[: len(names)],
+                f"{ctx}: stage names {names} do not follow the Fig.-1 "
+                f"pipeline order {PIPELINE_STAGES}")
+        require(abs(stage_sum - total) <= 0.05 * max(total, 1e-9) + 1e-6,
+                f"{ctx}: stage seconds sum {stage_sum} != totalSeconds {total}")
+        reorder = row.get("reorder")
+        require(isinstance(reorder, dict), f"{ctx}: missing 'reorder' object")
+        for key in ("swaps", "rejectedSwaps", "maxResidual", "eigenvalueDrift"):
+            check_number(reorder, key, f"{ctx}.reorder", minimum=0)
+
+    for order in args.expect_order:
+        require(order in seen_orders,
+                f"pipeline has no row at order {order} (has {sorted(seen_orders)})")
+
+    kernels = doc.get("kernels")
+    require(isinstance(kernels, list) and kernels,
+            "kernels must be a non-empty array")
+    gemm_variants = set()
+    for i, row in enumerate(kernels):
+        ctx = f"kernels[{i}]"
+        require(isinstance(row, dict), f"{ctx}: must be an object")
+        require(isinstance(row.get("kernel"), str) and row["kernel"],
+                f"{ctx}: 'kernel' must be a non-empty string")
+        require(isinstance(row.get("variant"), str) and row["variant"],
+                f"{ctx}: 'variant' must be a non-empty string")
+        check_number(row, "n", ctx, minimum=1)
+        check_number(row, "seconds", ctx, minimum=0.0)
+        check_number(row, "gflops", ctx, minimum=0.0)
+        if row["kernel"] == "gemm":
+            gemm_variants.add(row["variant"])
+    require({"reference", "blocked"} <= gemm_variants,
+            f"kernels must cover gemm reference+blocked, got {gemm_variants}")
+
+    print(f"validate_bench_json: OK: {args.path} "
+          f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows)")
+
+
+if __name__ == "__main__":
+    main()
