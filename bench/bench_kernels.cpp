@@ -1,7 +1,7 @@
 // Micro-benchmarks (google-benchmark) of the numerical kernels underneath
 // the passivity tests: blocked vs reference gemm, blocked vs unblocked
-// Hessenberg, SVD, real Schur, reordering, the isotropic-Arnoldi
-// reduction, and the stage-1 deflation. Useful for tracking the O(n^3)
+// Hessenberg, blocked vs unblocked SVD, real Schur, reordering, the
+// isotropic-Arnoldi reduction, and the stage-1 deflation. Useful for tracking the O(n^3)
 // scaling claims at the kernel level. (bench_pipeline is the
 // dependency-free macro harness that persists BENCH_pipeline.json; this
 // binary is for interactive kernel iteration.)
@@ -9,6 +9,7 @@
 
 #include <random>
 
+#include "bench_support.hpp"
 #include "circuits/generators.hpp"
 #include "core/impulse_deflation.hpp"
 #include "core/phi_builder.hpp"
@@ -101,16 +102,33 @@ BENCHMARK(BM_HessenbergBlocked)
     ->Range(128, 512)
     ->Complexity();
 
-void BM_Svd(benchmark::State& state) {
+void BM_SvdUnblocked(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Matrix a = randomMatrix(n, 42);
   for (auto _ : state) {
-    linalg::SVD svd(a);
+    linalg::SVD svd = linalg::svdUnblocked(a);
     benchmark::DoNotOptimize(svd.singularValues());
   }
   state.SetComplexityN(state.range(0));
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(bench::svdNominalFlops(n) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Svd)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+BENCHMARK(BM_SvdUnblocked)->RangeMultiplier(2)->Range(128, 256)->Complexity();
+
+void BM_SvdBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 42);
+  for (auto _ : state) {
+    linalg::SVD svd = linalg::svdBlocked(a);
+    benchmark::DoNotOptimize(svd.singularValues());
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(bench::svdNominalFlops(n) * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SvdBlocked)->RangeMultiplier(2)->Range(128, 512)->Complexity();
 
 void BM_RealSchur(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

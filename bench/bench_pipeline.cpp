@@ -3,8 +3,9 @@
 // Runs the public PassivityAnalyzer on the Table-1 benchmark family at a
 // fixed ladder of orders, records per-stage wall times from the stage
 // pipeline's StageTrace records plus reorder health, measures the dense
-// kernels (naive vs blocked gemm, unblocked vs blocked Hessenberg) in
-// GFLOP/s, and writes everything as BENCH_pipeline.json.
+// kernels (naive vs blocked gemm, unblocked vs blocked Hessenberg,
+// unblocked vs blocked SVD) in GFLOP/s, and writes everything as
+// BENCH_pipeline.json.
 //
 // The JSON schema is documented in docs/BENCHMARKS.md; the committed
 // BENCH_pipeline.json at the repository root is one trajectory point per
@@ -36,6 +37,7 @@
 #include "bench_support.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/hessenberg.hpp"
+#include "linalg/svd.hpp"
 
 namespace {
 
@@ -86,7 +88,7 @@ int main(int argc, char** argv) {
   api::json::Writer w;
   w.beginObject();
   w.key("schema").value("shhpass-bench-pipeline");
-  w.key("schemaVersion").value(std::size_t{1});
+  w.key("schemaVersion").value(std::size_t{2});
   w.key("timeUnit").value("seconds");
   w.key("gemmThreads").value(linalg::gemmThreads());
   w.key("reps").value(static_cast<std::size_t>(reps));
@@ -153,7 +155,8 @@ int main(int argc, char** argv) {
 
   // -------------------------------------------------------------- kernels
   // Single-matrix sizes chosen so the largest matches the top pipeline
-  // order and the acceptance gate (blocked >= 3x naive at n = 800).
+  // order and the acceptance gates (blocked gemm >= 3x naive, blocked
+  // SVD >= 2x unblocked, both at n = 800 single-threaded).
   std::vector<std::size_t> kernelSizes = orders.size() == 1
                                              ? std::vector<std::size_t>{256}
                                              : std::vector<std::size_t>{
@@ -179,6 +182,11 @@ int main(int argc, char** argv) {
                    [&] { linalg::hessenbergUnblocked(a); }));
     rows.push_back(timeKernel("hessenberg", n, "blocked", hessFlops, reps,
                               [&] { linalg::hessenberg(a); }));
+    const double svdFlops = bench::svdNominalFlops(n);
+    rows.push_back(timeKernel("svd", n, "unblocked", svdFlops, reps,
+                              [&] { linalg::svdUnblocked(a); }));
+    rows.push_back(timeKernel("svd", n, "blocked", svdFlops, reps,
+                              [&] { linalg::svdBlocked(a); }));
   }
   w.key("kernels").beginArray();
   for (const KernelRow& r : rows) {

@@ -29,6 +29,10 @@ bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
       reorder.eigenvalueDrift != other.reorder.eigenvalueDrift ||
       reorder.standardizations != other.reorder.standardizations)
     return false;
+  if (rankPolicy.decisions != other.rankPolicy.decisions ||
+      rankPolicy.minKeptMargin != other.rankPolicy.minKeptMargin ||
+      rankPolicy.maxDroppedMargin != other.rankPolicy.maxDroppedMargin)
+    return false;
   if (warnings != other.warnings) return false;
   if (stages.size() != other.stages.size()) return false;
   for (std::size_t k = 0; k < stages.size(); ++k) {
@@ -61,6 +65,11 @@ std::string AnalysisReport::toJson() const {
   w.key("maxResidual").value(reorder.maxResidual);
   w.key("eigenvalueDrift").value(reorder.eigenvalueDrift);
   w.key("standardizations").value(reorder.standardizations);
+  w.endObject();
+  w.key("rankPolicy").beginObject();
+  w.key("decisions").value(rankPolicy.decisions);
+  w.key("minKeptMargin").value(rankPolicy.minKeptMargin);
+  w.key("maxDroppedMargin").value(rankPolicy.maxDroppedMargin);
   w.endObject();
   w.endObject();
   w.key("warnings").beginArray();
@@ -160,6 +169,7 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   report.m1 = state.result.m1;
   report.properOrder = state.result.properPart.lambda.rows();
   report.reorder = state.result.reorder;
+  report.rankPolicy = state.result.rankPolicy;
   if (report.reorder.rejectedSwaps > 0)
     report.warnings.push_back(Warning::ReorderSwapRejected);
   for (const StageTrace& t : report.stages) report.totalSeconds += t.seconds;

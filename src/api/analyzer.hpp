@@ -50,6 +50,11 @@ struct AnalysisReport {
   /// Health of the Schur reordering behind the Eq.-(22) stable/antistable
   /// split (zeroed when the run never reached the proper-part stage).
   linalg::ReorderReport reorder;
+  /// Health of the shared-policy SVD rank decisions behind every
+  /// deflation step (decision count + worst kept/dropped margins,
+  /// linalg/svd.hpp; empty when the run stopped before the deflation
+  /// stages). Serialized under diagnostics.rankPolicy.
+  linalg::RankReport rankPolicy;
   /// Non-fatal diagnostic flags (e.g. Warning::ReorderSwapRejected).
   std::vector<Warning> warnings;
 

@@ -56,6 +56,7 @@ class ImpulseDeflationStage final : public Stage {
   Status run(PipelineState& s) override {
     s.deflation = core::deflateImpulseModes(s.phi, s.options.rankTol);
     s.result.removedImpulsive = s.deflation.removed;
+    s.result.rankPolicy.merge(s.deflation.rankReport);
     return Status::okStatus();
   }
 };
@@ -68,6 +69,7 @@ class NondynamicRemovalStage final : public Stage {
     s.nondynamic =
         core::removeNondynamicModes(s.deflation.reduced, s.options.rankTol);
     s.result.removedNondynamic = s.nondynamic.removed;
+    s.result.rankPolicy.merge(s.nondynamic.rankReport);
     if (!s.nondynamic.impulseFree)
       return verdict(core::FailureStage::ResidualImpulses);
     return Status::okStatus();
@@ -102,9 +104,10 @@ class ProperPartStage final : public Stage {
  public:
   const char* name() const override { return "proper-part"; }
   Status run(PipelineState& s) override {
-    s.result.properPart =
-        core::extractProperPart(s.nondynamic.shh, s.options.imagTol);
+    s.result.properPart = core::extractProperPart(
+        s.nondynamic.shh, s.options.imagTol, s.options.rankTol);
     s.result.reorder = s.result.properPart.reorder;
+    s.result.rankPolicy.merge(s.result.properPart.rankReport);
     if (!s.result.properPart.ok)
       return verdict(core::FailureStage::LosslessAxisModes);
     return Status::okStatus();

@@ -10,9 +10,11 @@ namespace shhpass::core {
 using linalg::Matrix;
 
 Matrix impulseUnobservableSubspace(const shh::ShhRealization& phi,
-                                   double rankTol) {
+                                   double rankTol,
+                                   linalg::RankReport* report) {
   // V_o = { v in Ker E : A v in Im E, C v = 0 }.
   linalg::SVD esvd(phi.e);
+  esvd.rank(rankTol, report);
   Matrix kerE = esvd.nullspace(rankTol);
   if (kerE.cols() == 0) return Matrix(phi.order(), 0);
   // Component of A * KerE outside Im E: (I - R R^T) A KerE, R = range(E).
@@ -20,7 +22,9 @@ Matrix impulseUnobservableSubspace(const shh::ShhRealization& phi,
   Matrix ak = phi.a * kerE;
   Matrix proj = ak - range * linalg::atb(range, ak);
   Matrix stacked = linalg::vcat(proj, phi.c * kerE);
-  Matrix coeff = linalg::SVD(stacked).nullspace(rankTol);
+  linalg::SVD ssvd(stacked);
+  ssvd.rank(rankTol, report);
+  Matrix coeff = ssvd.nullspace(rankTol);
   if (coeff.cols() == 0) return Matrix(phi.order(), 0);
   return kerE * coeff;  // orthonormal: kerE orthonormal, coeff orthonormal
 }
@@ -28,7 +32,8 @@ Matrix impulseUnobservableSubspace(const shh::ShhRealization& phi,
 ImpulseDeflationResult deflateImpulseModes(const shh::ShhRealization& phi,
                                            double rankTol) {
   ImpulseDeflationResult out;
-  out.impulseUnobservable = impulseUnobservableSubspace(phi, rankTol);
+  out.impulseUnobservable =
+      impulseUnobservableSubspace(phi, rankTol, &out.rankReport);
 
   // The deflated right subspace is span([V_o, J A V_o]): discarding V_o
   // alone would leave a coupling through the rows J V_o. Because
@@ -39,8 +44,13 @@ ImpulseDeflationResult deflateImpulseModes(const shh::ShhRealization& phi,
   // so the left keep-basis can again be taken as -J V.
   Matrix rBad = out.impulseUnobservable;
   if (rBad.cols() > 0) {
+    // Span basis via the shared SVD rank policy (historically a pivoted-QR
+    // range at a hand-rolled 1e-10 cutoff; unified in the blocked-SVD PR —
+    // the golden-set parity test pins the verdicts across that change).
     Matrix partners = shh::applyJ(phi.a * out.impulseUnobservable);
-    rBad = linalg::orthonormalRange(linalg::hcat(rBad, partners), 1e-10);
+    linalg::SVD span(linalg::hcat(rBad, partners));
+    span.rank(rankTol, &out.rankReport);
+    rBad = span.range(rankTol);
   }
   out.removed = rBad.cols();
 

@@ -12,6 +12,7 @@
 // symmetric reduced pencil (E1, A1) with input map -C1^T (Eq. 17).
 #pragma once
 
+#include "linalg/svd.hpp"
 #include "shh/shh_pencil.hpp"
 
 namespace shhpass::core {
@@ -24,12 +25,17 @@ struct ImpulseDeflationResult {
                                     ///< impulsive directions.
   linalg::Matrix vKeep;             ///< Right projection basis used.
   linalg::Matrix impulseUnobservable;  ///< Orthonormal basis of V_o.
+  /// Health of the SVD rank decisions taken (shared policy, svd.hpp).
+  linalg::RankReport rankReport;
 };
 
 /// Compute the impulse-unobservable subspace V_o of an SHH realization.
-/// Exposed for tests and diagnostics.
+/// Exposed for tests and diagnostics. When `report` is non-null, every
+/// SVD rank decision on the way is recorded into it.
 linalg::Matrix impulseUnobservableSubspace(const shh::ShhRealization& phi,
-                                           double rankTol = -1.0);
+                                           double rankTol = -1.0,
+                                           linalg::RankReport* report =
+                                               nullptr);
 
 /// One pass of the deflation (sufficient for minimal passive G, which has
 /// generalized eigenvectors of grade at most 2).

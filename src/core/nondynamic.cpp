@@ -21,7 +21,7 @@ NondynamicRemovalResult removeNondynamicModes(
   // and U^T E1 U = diag(E11, 0) with E11 skew nonsingular (rank of a skew
   // matrix is even).
   linalg::SVD esvd(s1.e);
-  const std::size_t r = esvd.rank(rankTol);
+  const std::size_t r = esvd.rank(rankTol, &out.rankReport);
   Matrix rBasis = esvd.range(rankTol);
   // For skew-symmetric E1, Ker(E1) = Ker(E1^T), so the left nullspace from
   // the same U factor is an exactly orthonormal completion of the range.
@@ -47,7 +47,7 @@ NondynamicRemovalResult removeNondynamicModes(
   // nonsingular.
   if (out.removed > 0) {
     linalg::SVD asvd(a22);
-    if (asvd.rank(rankTol) < out.removed) {
+    if (asvd.rank(rankTol, &out.rankReport) < out.removed) {
       out.impulseFree = false;
       return out;
     }

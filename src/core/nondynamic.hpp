@@ -12,6 +12,7 @@
 // impulsive modes, hence a non-passive G.
 #pragma once
 
+#include "linalg/svd.hpp"
 #include "shh/shh_pencil.hpp"
 
 namespace shhpass::core {
@@ -24,6 +25,9 @@ struct NondynamicRemovalResult {
   shh::ShhRealization shh;    ///< (E3, A3, C3, D3) with E3 nonsingular
                               ///< skew-Hamiltonian, A3 Hamiltonian
                               ///< (valid only when impulseFree).
+  /// Health of the SVD rank decisions taken (shared policy, svd.hpp):
+  /// the E1 rank split and the A22 impulse-freeness certificate.
+  linalg::RankReport rankReport;
 };
 
 /// Eliminate nondynamic modes and restore SHH structure. `rankTol` controls

@@ -56,6 +56,11 @@ struct PassivityResult {
   /// ill-posed and the ordering is incomplete — a LosslessAxisModes
   /// verdict is then conservative rather than certain.
   linalg::ReorderReport reorder;
+  /// Health of every SVD rank decision the deflation chain took (shared
+  /// policy, linalg/svd.hpp), merged across the impulse-deflation,
+  /// nondynamic-removal, and proper-part stages. A kept margin near 1
+  /// means some deflation decision was numerically sharp.
+  linalg::RankReport rankPolicy;
 };
 
 /// Options for the proposed test.

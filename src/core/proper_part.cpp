@@ -14,7 +14,7 @@ namespace shhpass::core {
 using linalg::Matrix;
 
 ProperPartResult extractProperPart(const shh::ShhRealization& s3,
-                                   double imagTol) {
+                                   double imagTol, double rankTol) {
   ProperPartResult out;
   const std::size_t n2 = s3.order();
   const std::size_t m = s3.ports();
@@ -59,7 +59,9 @@ ProperPartResult extractProperPart(const shh::ShhRealization& s3,
   zr.setBlock(0, 0, zTop);
   zr.setBlock(0, np, (zBot - zTop * x) * ebarInvT);
 
-  out.condNormalizer = linalg::SVD(tri.w).cond();
+  linalg::SVD wsvd(tri.w);
+  out.condNormalizer = wsvd.cond();
+  wsvd.rank(rankTol, &out.rankReport);
 
   // A4 = Z_L A3 Z_R is Hamiltonian; C4 = C3 Z_R; B4 = J C4^T automatically.
   out.a4 = zl * s3.a * zr;

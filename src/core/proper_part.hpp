@@ -14,6 +14,7 @@
 #pragma once
 
 #include "linalg/schur_reorder.hpp"
+#include "linalg/svd.hpp"
 #include "shh/shh_pencil.hpp"
 
 namespace shhpass::core {
@@ -30,12 +31,19 @@ struct ProperPartResult {
   double condNormalizer = 1.0;  ///< cond of the E3 normalizing factor K.
   /// Health record of the Schur reordering behind the Eq.-(22) split.
   linalg::ReorderReport reorder;
+  /// Health of the SVD rank decision on the E3 normalizer (shared
+  /// policy, svd.hpp): full rank expected; a dropped value here means
+  /// the upstream nonsingularity invariant is numerically marginal.
+  linalg::RankReport rankReport;
 };
 
 /// Extract the stable proper part from an impulse-free SHH realization with
 /// nonsingular skew-Hamiltonian E3. Throws std::runtime_error if E3 is
-/// numerically singular (pipeline invariant violated upstream).
+/// numerically singular (pipeline invariant violated upstream). `rankTol`
+/// feeds the shared-policy rank decision on the normalizer (negative =
+/// SVD default), matching the tolerance the deflation stages used.
 ProperPartResult extractProperPart(const shh::ShhRealization& s3,
-                                   double imagTol = 1e-8);
+                                   double imagTol = 1e-8,
+                                   double rankTol = -1.0);
 
 }  // namespace shhpass::core

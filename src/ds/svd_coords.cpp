@@ -37,7 +37,7 @@ SvdCoordinates toSvdCoordinates(const DescriptorSystem& sys, double rankTol) {
   sys.validate();
   SvdCoordinates out;
   linalg::SVD svd(sys.e);
-  out.rankE = svd.rank(rankTol);
+  out.rankE = svd.rank(rankTol, &out.rankReport);
   const std::size_t n = sys.order();
   // Full orthogonal U: range columns first, left-nullspace completion after.
   Matrix uFull = linalg::hcat(svd.range(rankTol), svd.leftNullspace(rankTol));

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "ds/descriptor.hpp"
+#include "linalg/svd.hpp"
 
 namespace shhpass::ds {
 
@@ -13,6 +14,8 @@ struct SvdCoordinates {
   DescriptorSystem sys;  ///< Transformed system (same transfer function).
   linalg::Matrix u, v;   ///< Orthogonal transforms used.
   std::size_t rankE = 0; ///< r = rank(E).
+  /// Health of the rank(E) decision (shared policy, svd.hpp).
+  linalg::RankReport rankReport;
 
   /// Conformal blocks of the transformed system.
   linalg::Matrix a11() const;

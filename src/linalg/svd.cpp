@@ -6,14 +6,18 @@
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
+#include "linalg/householder.hpp"
 #include "linalg/qr.hpp"
 
 namespace shhpass::linalg {
 namespace {
 
 // Golub-Kahan-Reinsch SVD for m >= n (JAMA lineage). Computes thin U (m x n),
-// singular values s (n), and full V (n x n), sorted descending.
-void gkSvd(Matrix a, std::vector<double>& sv, Matrix& u, Matrix& v) {
+// singular values s (n), and full V (n x n), sorted descending. This is the
+// unblocked reference kernel; it must stay bit-identical to the historical
+// implementation (the dispatch below kSvdCrossover relies on that).
+void gkSvd(const Matrix& aIn, std::vector<double>& sv, Matrix& u, Matrix& v) {
+  Matrix a = aIn;
   const int m = static_cast<int>(a.rows());
   const int n = static_cast<int>(a.cols());
   const int nu = n;
@@ -266,37 +270,489 @@ void gkSvd(Matrix a, std::vector<double>& sv, Matrix& u, Matrix& v) {
   }
 }
 
+// ------------------------------------------------------------------------
+// Blocked (dgebrd/dlabrd-style) kernel.
+// ------------------------------------------------------------------------
+
+// The gkSvd main iteration operating on TRANSPOSED factors: row j of `ut`
+// is column j of U, row j of `vt` is column j of V. Every Givens rotation
+// then updates two contiguous rows instead of two stride-n columns, which
+// is what keeps the O(n^3) rotation stream cache-resident. The update
+// sequence (shifts, deflation tests, rotation order) is the same as
+// gkSvd's loop; only the factor indexing differs.
+void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
+                                     std::vector<double>& e, Matrix& ut,
+                                     Matrix& vt) {
+  double* s = sv.data();
+  const int n = static_cast<int>(sv.size());
+  const int m = static_cast<int>(ut.cols());
+  int p = n;
+  const int pp = p - 1;
+  int iter = 0;
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double tiny = std::numeric_limits<double>::min() / eps;
+  while (p > 0) {
+    int k, kase;
+    for (k = p - 2; k >= -1; --k) {
+      if (k == -1) break;
+      if (std::abs(e[k]) <=
+          tiny + eps * (std::abs(s[k]) + std::abs(s[k + 1]))) {
+        e[k] = 0.0;
+        break;
+      }
+    }
+    if (k == p - 2) {
+      kase = 4;
+    } else {
+      int ks;
+      for (ks = p - 1; ks >= k; --ks) {
+        if (ks == k) break;
+        const double t = (ks != p ? std::abs(e[ks]) : 0.0) +
+                         (ks != k + 1 ? std::abs(e[ks - 1]) : 0.0);
+        if (std::abs(s[ks]) <= tiny + eps * t) {
+          s[ks] = 0.0;
+          break;
+        }
+      }
+      if (ks == k) {
+        kase = 3;
+      } else if (ks == p - 1) {
+        kase = 1;
+      } else {
+        kase = 2;
+        k = ks;
+      }
+    }
+    ++k;
+
+    switch (kase) {
+      case 1: {  // Deflate negligible s(p-1).
+        double f = e[p - 2];
+        e[p - 2] = 0.0;
+        for (int j = p - 2; j >= k; --j) {
+          double t = std::hypot(s[j], f);
+          const double cs = s[j] / t;
+          const double sn = f / t;
+          s[j] = t;
+          if (j != k) {
+            f = -sn * e[j - 1];
+            e[j - 1] = cs * e[j - 1];
+          }
+          double* vj = &vt(j, 0);
+          double* vq = &vt(p - 1, 0);
+          for (int i = 0; i < n; ++i) {
+            t = cs * vj[i] + sn * vq[i];
+            vq[i] = -sn * vj[i] + cs * vq[i];
+            vj[i] = t;
+          }
+        }
+        break;
+      }
+      case 2: {  // Split at negligible s(k).
+        double f = e[k - 1];
+        e[k - 1] = 0.0;
+        for (int j = k; j < p; ++j) {
+          double t = std::hypot(s[j], f);
+          const double cs = s[j] / t;
+          const double sn = f / t;
+          s[j] = t;
+          f = -sn * e[j];
+          e[j] = cs * e[j];
+          double* uj = &ut(j, 0);
+          double* uq = &ut(k - 1, 0);
+          for (int i = 0; i < m; ++i) {
+            t = cs * uj[i] + sn * uq[i];
+            uq[i] = -sn * uj[i] + cs * uq[i];
+            uj[i] = t;
+          }
+        }
+        break;
+      }
+      case 3: {  // One QR step with Wilkinson shift.
+        const double scale = std::max(
+            {std::abs(s[p - 1]), std::abs(s[p - 2]), std::abs(e[p - 2]),
+             std::abs(s[k]), std::abs(e[k])});
+        const double sp = s[p - 1] / scale;
+        const double spm1 = s[p - 2] / scale;
+        const double epm1 = e[p - 2] / scale;
+        const double sk = s[k] / scale;
+        const double ek = e[k] / scale;
+        const double b = ((spm1 + sp) * (spm1 - sp) + epm1 * epm1) / 2.0;
+        const double c = (sp * epm1) * (sp * epm1);
+        double shift = 0.0;
+        if (b != 0.0 || c != 0.0) {
+          shift = std::sqrt(b * b + c);
+          if (b < 0.0) shift = -shift;
+          shift = c / (b + shift);
+        }
+        double f = (sk + sp) * (sk - sp) + shift;
+        double g = sk * ek;
+        for (int j = k; j < p - 1; ++j) {
+          double t = std::hypot(f, g);
+          double cs = f / t;
+          double sn = g / t;
+          if (j != k) e[j - 1] = t;
+          f = cs * s[j] + sn * e[j];
+          e[j] = cs * e[j] - sn * s[j];
+          g = sn * s[j + 1];
+          s[j + 1] = cs * s[j + 1];
+          {
+            double* vj = &vt(j, 0);
+            double* vq = &vt(j + 1, 0);
+            for (int i = 0; i < n; ++i) {
+              t = cs * vj[i] + sn * vq[i];
+              vq[i] = -sn * vj[i] + cs * vq[i];
+              vj[i] = t;
+            }
+          }
+          t = std::hypot(f, g);
+          cs = f / t;
+          sn = g / t;
+          s[j] = t;
+          f = cs * e[j] + sn * s[j + 1];
+          s[j + 1] = -sn * e[j] + cs * s[j + 1];
+          g = sn * e[j + 1];
+          e[j + 1] = cs * e[j + 1];
+          if (j < m - 1) {
+            double* uj = &ut(j, 0);
+            double* uq = &ut(j + 1, 0);
+            for (int i = 0; i < m; ++i) {
+              t = cs * uj[i] + sn * uq[i];
+              uq[i] = -sn * uj[i] + cs * uq[i];
+              uj[i] = t;
+            }
+          }
+        }
+        e[p - 2] = f;
+        if (++iter > 500)
+          throw std::runtime_error("SVD: QR iteration failed to converge");
+        break;
+      }
+      case 4: {  // Convergence.
+        if (s[k] <= 0.0) {
+          s[k] = (s[k] < 0.0 ? -s[k] : 0.0);
+          double* vk = &vt(k, 0);
+          for (int i = 0; i <= pp; ++i) vk[i] = -vk[i];
+        }
+        while (k < pp) {
+          if (s[k] >= s[k + 1]) break;
+          std::swap(s[k], s[k + 1]);
+          if (k < n - 1)
+            std::swap_ranges(&vt(k, 0), &vt(k, 0) + n, &vt(k + 1, 0));
+          if (k < m - 1)
+            std::swap_ranges(&ut(k, 0), &ut(k, 0) + m, &ut(k + 1, 0));
+          ++k;
+        }
+        iter = 0;
+        --p;
+        break;
+      }
+    }
+  }
+}
+
+// One dlabrd panel: bidiagonalizes rows/columns k .. k+nb-1 of `w` with
+// lazily-applied updates. Instead of updating the trailing matrix after
+// every reflector, the panel maintains
+//
+//   X = (fully updated A) * [right reflectors] * diag(taup)   (m x nb)
+//   Y = (fully updated A)^T * [left reflectors] * diag(tauq)  (n x nb)
+//
+// so that the fully-updated entry of any panel row/column can be
+// materialized on demand (the dlabrd recurrences below), and the whole
+// trailing matrix is updated at once by the caller with two gemm calls:
+//
+//   A(k+nb:, k+nb:) -= V2 * Y2^T + X2 * U2,
+//
+// V2/U2 the below-/right-of-panel parts of the reflector blocks. The
+// reflector vectors overwrite `w` LAPACK-style with their unit leading
+// entries stored EXPLICITLY (at (i, i) and (i, i+1)), which is exactly
+// what the trailing gemms and the compact-WY accumulation need; the
+// bidiagonal itself lives in d/e (absolute indices), never in `w`.
+void bidiagonalizePanel(Matrix& w, std::size_t k, std::size_t nb, Matrix& x,
+                        Matrix& y, double* d, double* e, double* tauq,
+                        double* taup) {
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+  std::vector<double> vcol(m), urow(n), gather(std::max(m, n)),
+      acc(std::max(m, n)), t1(nb + 1), t2(nb);
+  for (std::size_t t = 0; t < nb; ++t) {
+    const std::size_t i = k + t;
+
+    // Materialize the fully-updated column i:
+    //   w(i:, i) -= w(i:, k:k+t) * Y(i, 0:t)^T + X(i:, 0:t) * w(k:k+t, i).
+    if (t > 0) {
+      const double* yi = &y(i, 0);
+      for (std::size_t c = 0; c < t; ++c) t2[c] = w(k + c, i);
+      for (std::size_t r = i; r < m; ++r) {
+        const double* wr = &w(r, k);
+        const double* xr = &x(r, 0);
+        double a = w(r, i);
+        for (std::size_t c = 0; c < t; ++c)
+          a -= wr[c] * yi[c] + xr[c] * t2[c];
+        w(r, i) = a;
+      }
+    }
+
+    // Left reflector annihilating w(i+1:, i); unit entry stored at (i, i).
+    for (std::size_t r = i; r < m; ++r) gather[r - i] = w(r, i);
+    double beta;
+    tauq[i] = makeReflector(gather.data(), m - i, vcol.data(), beta);
+    d[i] = beta;
+    for (std::size_t r = i; r < m; ++r) w(r, i) = vcol[r - i];
+
+    if (i + 1 >= n) continue;  // last column: no row reflector, no X/Y
+
+    // Y(i+1:, t) = tauq * (w(i:, i+1:)^T v - Y(:, 0:t) (w(i:, k:k+t)^T v)
+    //                      - w(k:k+t, i+1:)^T (X(i:, 0:t)^T v)).
+    std::fill(acc.begin() + i + 1, acc.begin() + n, 0.0);
+    std::fill(t1.begin(), t1.begin() + t, 0.0);
+    std::fill(t2.begin(), t2.begin() + t, 0.0);
+    for (std::size_t r = i; r < m; ++r) {
+      const double vr = vcol[r - i];
+      if (vr == 0.0) continue;
+      const double* wr = &w(r, 0);
+      for (std::size_t j = i + 1; j < n; ++j) acc[j] += wr[j] * vr;
+      const double* wk = &w(r, k);
+      const double* xr = &x(r, 0);
+      for (std::size_t c = 0; c < t; ++c) {
+        t1[c] += wk[c] * vr;
+        t2[c] += xr[c] * vr;
+      }
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double* yr = &y(j, 0);
+      double a = 0.0;
+      for (std::size_t c = 0; c < t; ++c) a += yr[c] * t1[c];
+      acc[j] -= a;
+    }
+    for (std::size_t c = 0; c < t; ++c) {
+      const double f = t2[c];
+      if (f == 0.0) continue;
+      const double* wc = &w(k + c, 0);
+      for (std::size_t j = i + 1; j < n; ++j) acc[j] -= wc[j] * f;
+    }
+    for (std::size_t j = i + 1; j < n; ++j) y(j, t) = tauq[i] * acc[j];
+
+    // Materialize the fully-updated row i:
+    //   w(i, i+1:) -= Y(i+1:, 0:t+1) * w(i, k:k+t+1)^T
+    //                 + w(k:k+t, i+1:)^T X(i, 0:t)^T.
+    {
+      const double* wik = &w(i, k);
+      for (std::size_t c = 0; c <= t; ++c) t1[c] = wik[c];
+      double* wr = &w(i, 0);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double* yr = &y(j, 0);
+        double a = 0.0;
+        for (std::size_t c = 0; c <= t; ++c) a += yr[c] * t1[c];
+        wr[j] -= a;
+      }
+      for (std::size_t c = 0; c < t; ++c) {
+        const double f = x(i, c);
+        if (f == 0.0) continue;
+        const double* wc = &w(k + c, 0);
+        for (std::size_t j = i + 1; j < n; ++j) wr[j] -= wc[j] * f;
+      }
+    }
+
+    // Right reflector annihilating w(i, i+2:); unit stored at (i, i+1).
+    taup[i] = makeReflector(&w(i, i + 1), n - i - 1, urow.data(), beta);
+    e[i] = beta;
+    {
+      double* wr = &w(i, i + 1);
+      for (std::size_t j = 0; j + i + 1 < n; ++j) wr[j] = urow[j];
+    }
+
+    // X(i+1:, t) = taup * (w(i+1:, i+1:) u - w(i+1:, k:k+t+1) (Y(i+1:, 0:t+1)^T u)
+    //                      - X(i+1:, 0:t) (w(k:k+t, i+1:) u)).
+    std::fill(t1.begin(), t1.begin() + t + 1, 0.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double uj = urow[j - i - 1];
+      if (uj == 0.0) continue;
+      const double* yr = &y(j, 0);
+      for (std::size_t c = 0; c <= t; ++c) t1[c] += yr[c] * uj;
+    }
+    for (std::size_t c = 0; c < t; ++c) {
+      const double* wc = &w(k + c, 0);
+      double a = 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) a += wc[j] * urow[j - i - 1];
+      t2[c] = a;
+    }
+    for (std::size_t r = i + 1; r < m; ++r) {
+      const double* wr = &w(r, 0);
+      const double* wk = &w(r, k);
+      const double* xr = &x(r, 0);
+      double a = 0.0;
+      for (std::size_t j = i + 1; j < n; ++j) a += wr[j] * urow[j - i - 1];
+      for (std::size_t c = 0; c <= t; ++c) a -= wk[c] * t1[c];
+      for (std::size_t c = 0; c < t; ++c) a -= xr[c] * t2[c];
+      x(r, t) = taup[i] * a;
+    }
+  }
+}
+
+// Blocked Golub-Kahan SVD for m >= n >= 3: dlabrd panels + gemm trailing
+// updates for the bidiagonalization, compact-WY panel application for the
+// U/V accumulation, and the transposed-layout implicit-QR sweep on the
+// bidiagonal core. Same output contract as gkSvd (thin U, full V, s
+// descending); the two agree to backward-stable roundoff, not bitwise.
+void gkSvdBlocked(const Matrix& aIn, std::vector<double>& sv, Matrix& u,
+                  Matrix& v) {
+  Matrix w = aIn;
+  const std::size_t m = w.rows();
+  const std::size_t n = w.cols();
+  std::vector<double> d(n, 0.0), e(n, 0.0), tauq(n, 0.0), taup(n, 0.0);
+
+  struct Panel {
+    std::size_t start, width;
+  };
+  std::vector<Panel> panels;
+
+  std::size_t k = 0;
+  while (n - k > kSvdPanel) {
+    const std::size_t nb = kSvdPanel;
+    Matrix x(m, nb), y(n, nb);
+    bidiagonalizePanel(w, k, nb, x, y, d.data(), e.data(), tauq.data(),
+                       taup.data());
+    // Trailing update (the BLAS-3 bulk): two gemms over the remainder.
+    const std::size_t mt = m - k - nb, nt = n - k - nb;
+    Matrix trail = w.block(k + nb, k + nb, mt, nt);
+    gemm(-1.0, w.block(k + nb, k, mt, nb), false,
+         y.block(k + nb, 0, nt, nb), true, 1.0, trail);
+    gemm(-1.0, x.block(k + nb, 0, mt, nb), false,
+         w.block(k, k + nb, nb, nt), false, 1.0, trail);
+    w.setBlock(k + nb, k + nb, trail);
+    panels.push_back({k, nb});
+    k += nb;
+  }
+  {
+    // Final (possibly narrow) panel: no trailing matrix left, so the
+    // lazy recurrences alone finish the bidiagonalization.
+    const std::size_t nb = n - k;
+    Matrix x(m, nb), y(n, nb);
+    bidiagonalizePanel(w, k, nb, x, y, d.data(), e.data(), tauq.data(),
+                       taup.data());
+    panels.push_back({k, nb});
+  }
+
+  // Accumulate thin U = H_0 ... H_{nct-1} * I(m x n), panel by panel in
+  // reverse order; panel p only touches rows/columns >= its start.
+  u = Matrix(m, n);
+  for (std::size_t j = 0; j < n; ++j) u(j, j) = 1.0;
+  for (auto it = panels.rbegin(); it != panels.rend(); ++it) {
+    const std::size_t kp = it->start, kb = it->width;
+    Matrix vb(m - kp, kb);
+    for (std::size_t c = 0; c < kb; ++c)
+      for (std::size_t r = kp + c; r < m; ++r) vb(r - kp, c) = w(r, kp + c);
+    const std::vector<double> tq(tauq.begin() + kp, tauq.begin() + kp + kb);
+    const Matrix tf = buildCompactWyT(vb, tq);
+    Matrix blk = u.block(kp, kp, m - kp, n - kp);
+    applyBlockReflectorLeft(vb, tf, /*transpose=*/false, blk);
+    u.setBlock(kp, kp, blk);
+  }
+
+  // Accumulate V = P_0 ... P_{n-3} * I(n); reflector of row i lives in
+  // w(i, i+1:) with support starting at index i+1.
+  v = Matrix::identity(n);
+  for (auto it = panels.rbegin(); it != panels.rend(); ++it) {
+    const std::size_t kp = it->start;
+    const std::size_t last = std::min(kp + it->width, n - 1);
+    if (last <= kp) continue;  // final 1-wide panel at the corner
+    const std::size_t kb = last - kp;
+    Matrix vb(n - kp - 1, kb);
+    for (std::size_t c = 0; c < kb; ++c) {
+      const std::size_t i = kp + c;
+      for (std::size_t j = i + 1; j < n; ++j) vb(j - kp - 1, c) = w(i, j);
+    }
+    const std::vector<double> tp(taup.begin() + kp, taup.begin() + kp + kb);
+    const Matrix tf = buildCompactWyT(vb, tp);
+    Matrix blk = v.block(kp + 1, kp + 1, n - kp - 1, n - kp - 1);
+    applyBlockReflectorLeft(vb, tf, /*transpose=*/false, blk);
+    v.setBlock(kp + 1, kp + 1, blk);
+  }
+
+  // Diagonalize the bidiagonal core on transposed (row-contiguous)
+  // factor layouts, then transpose back.
+  sv = d;
+  e[n - 1] = 0.0;
+  Matrix ut = u.transposed();
+  Matrix vt = v.transposed();
+  diagonalizeBidiagonalTransposed(sv, e, ut, vt);
+  u = ut.transposed();
+  v = vt.transposed();
+}
+
 }  // namespace
 
-SVD::SVD(const Matrix& a) : m_(a.rows()), n_(a.cols()) {
+RankReport::RankReport()
+    : minKeptMargin(std::numeric_limits<double>::infinity()) {}
+
+void RankReport::merge(const RankReport& other) {
+  decisions += other.decisions;
+  minKeptMargin = std::min(minKeptMargin, other.minKeptMargin);
+  maxDroppedMargin = std::max(maxDroppedMargin, other.maxDroppedMargin);
+}
+
+double resolveRankTol(const std::vector<double>& s, std::size_t m,
+                      std::size_t n, double tol) {
+  if (tol >= 0.0) return tol;
+  const double smax = s.empty() ? 0.0 : s.front();
+  return static_cast<double>(std::max(m, n)) *
+         std::numeric_limits<double>::epsilon() * std::max(smax, 1e-300);
+}
+
+std::size_t rankFromSingularValues(const std::vector<double>& s,
+                                   std::size_t m, std::size_t n, double tol,
+                                   RankReport* report) {
+  const double cut = resolveRankTol(s, m, n, tol);
+  std::size_t r = 0;
+  for (double sv : s)
+    if (sv > cut) ++r;
+  if (report) {
+    ++report->decisions;
+    if (r > 0)
+      report->minKeptMargin = std::min(report->minKeptMargin, s[r - 1] / cut);
+    if (r < s.size())
+      report->maxDroppedMargin =
+          std::max(report->maxDroppedMargin, s[r] / cut);
+  }
+  return r;
+}
+
+SVD::SVD(const Matrix& a, SvdKernel kernel) : m_(a.rows()), n_(a.cols()) {
   if (a.empty()) {
     u_ = Matrix::identity(m_);
     v_ = Matrix::identity(n_);
     return;
   }
+  const std::size_t mn = std::min(m_, n_);
+  bool blocked = false;
+  switch (kernel) {
+    case SvdKernel::Unblocked:
+      break;
+    case SvdKernel::Blocked:
+      blocked = mn >= 3;  // below that the panel machinery degenerates
+      break;
+    case SvdKernel::Auto:
+      blocked = mn >= kSvdCrossover;
+      break;
+  }
+  const auto run = blocked ? gkSvdBlocked : gkSvd;
   if (m_ >= n_) {
-    gkSvd(a, s_, u_, v_);
+    run(a, s_, u_, v_);
   } else {
     transposed_ = true;
     Matrix ut, vt;
-    gkSvd(a.transposed(), s_, vt, ut);  // A^T = vt S ut^T  =>  A = ut S vt^T
+    run(a.transposed(), s_, vt, ut);  // A^T = vt S ut^T  =>  A = ut S vt^T
     u_ = ut;  // m x m (full V of the transposed problem)
     v_ = vt;  // n x m (thin U of the transposed problem)
   }
 }
 
-double SVD::defaultTol() const {
-  const double smax = s_.empty() ? 0.0 : s_.front();
-  return static_cast<double>(std::max(m_, n_)) *
-         std::numeric_limits<double>::epsilon() * std::max(smax, 1e-300);
-}
+double SVD::defaultTol() const { return resolveRankTol(s_, m_, n_, -1.0); }
 
-std::size_t SVD::rank(double tol) const {
-  if (tol < 0.0) tol = defaultTol();
-  std::size_t r = 0;
-  for (double sv : s_)
-    if (sv > tol) ++r;
-  return r;
+std::size_t SVD::rank(double tol, RankReport* report) const {
+  return rankFromSingularValues(s_, m_, n_, tol, report);
 }
 
 Matrix SVD::range(double tol) const {

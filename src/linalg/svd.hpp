@@ -1,14 +1,96 @@
-// Singular value decomposition A = U diag(s) V^T via Golub-Kahan-Reinsch
-// bidiagonalization + implicit-shift QR. This is the rank oracle for every
-// deflation decision in the SHH passivity pipeline (kernel bases, range
-// bases, subspace subtraction).
+// Singular value decomposition A = U diag(s) V^T, the rank oracle for
+// every deflation decision in the SHH passivity pipeline (kernel bases,
+// range bases, subspace subtraction).
+//
+// Two kernels share the public entry point:
+//
+//   * svdUnblocked — the historical Golub-Kahan-Reinsch implementation
+//     (JAMA lineage): per-reflector bidiagonalization, rank-1 factor
+//     generation, implicit-shift QR on the bidiagonal core. Kept as the
+//     reference oracle and used below the crossover, where it is both
+//     faster and bit-identical to the pre-blocking implementation
+//     (seeded downstream tests rely on that).
+//   * a blocked dgebrd/dlabrd-style path (svd.cpp): panels of kSvdPanel
+//     columns/rows are bidiagonalized with lazily-applied updates (the
+//     dlabrd X/Y recurrences), the trailing matrix is updated with two
+//     large gemm calls per panel, and U/V are accumulated panel-by-panel
+//     through the compact-WY kernels in householder.hpp — all O(n^3)
+//     work outside the skinny panel products is BLAS-3. The implicit-QR
+//     sweep then runs on transposed (row-contiguous) factor layouts so
+//     the Givens updates stream through cache instead of striding.
+//
+// SVD() dispatches on kSvdCrossover (min(m, n)); below it the result is
+// bit-identical to svdUnblocked. Above it the two kernels produce equally
+// valid decompositions that agree only to backward-stable roundoff
+// (different summation order) — equivalence, orthogonality, and
+// reconstruction bounds are enforced by tests/test_svd_random.cpp.
+//
+// Threading: the blocked path inherits gemm's contract (blas.hpp) —
+// enable setGemmThreads() to parallelize the trailing updates and the
+// factor accumulation; results are bit-identical for every thread count.
+//
+// ## The shared rank policy
+//
+// Every consumer that turns singular values into a rank decision
+// (impulse deflation, nondynamic removal, proper-part normalization,
+// SVD coordinates, the LMI reduction) goes through ONE policy:
+// rankFromSingularValues counts sigma > tol, where a negative tol
+// resolves to the LAPACK-style default max(m, n) * eps * sigma_max.
+// Decisions can be recorded into a RankReport (decision count plus the
+// worst kept/dropped margins relative to the cutoff), which the analyzer
+// threads into AnalysisReport JSON next to the reorder health record.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace shhpass::linalg {
+
+/// Panel width of the blocked bidiagonalization (columns+rows reduced per
+/// dlabrd panel; also the K extent of the trailing-update gemms).
+inline constexpr std::size_t kSvdPanel = 32;
+/// Smallest min(m, n) for which SVD() takes the blocked path. Below it
+/// the unblocked kernel is faster AND bit-identical to the pre-blocking
+/// implementation (consistent with kHessenbergCrossover).
+inline constexpr std::size_t kSvdCrossover = 128;
+
+/// Kernel selector for SVD: Auto dispatches on kSvdCrossover.
+enum class SvdKernel { Auto, Unblocked, Blocked };
+
+/// Health record of the rank decisions taken under the shared policy.
+/// Margins are relative to the resolved cutoff: a kept margin near 1
+/// means the smallest retained singular value barely cleared the
+/// tolerance (the decision is numerically sharp); a dropped margin near
+/// 1 means a discarded one barely missed it. Mirrors ReorderReport.
+struct RankReport {
+  std::size_t decisions = 0;     ///< Rank decisions recorded.
+  /// min over decisions of sigma_r / tol (smallest kept vs cutoff);
+  /// infinity until a decision keeps at least one singular value.
+  double minKeptMargin;
+  /// max over decisions of sigma_{r+1} / tol (largest dropped vs
+  /// cutoff); 0 until a decision drops at least one singular value.
+  double maxDroppedMargin = 0.0;
+
+  RankReport();
+  /// Accumulate another report (sum counts, widen margins).
+  void merge(const RankReport& other);
+};
+
+/// Resolve a rank tolerance: returns `tol` unchanged when >= 0, else the
+/// default policy max(m, n) * eps * max(sigma_max, 1e-300). `s` must be
+/// sorted descending (sigma_max = s.front()).
+double resolveRankTol(const std::vector<double>& s, std::size_t m,
+                      std::size_t n, double tol);
+
+/// THE shared rank policy: number of singular values strictly above the
+/// resolved tolerance. `s` must be sorted descending (as produced by
+/// SVD). When `report` is non-null the decision is recorded into it.
+std::size_t rankFromSingularValues(const std::vector<double>& s,
+                                   std::size_t m, std::size_t n,
+                                   double tol = -1.0,
+                                   RankReport* report = nullptr);
 
 /// SVD of an arbitrary m x n real matrix.
 ///
@@ -19,7 +101,10 @@ namespace shhpass::linalg {
 /// the difference and always return orthonormal bases of the right dimension.
 class SVD {
  public:
-  explicit SVD(const Matrix& a);
+  /// Decompose `a`. The default Auto kernel dispatches between the
+  /// blocked and unblocked implementation on kSvdCrossover; see the
+  /// header comment for the exact contract.
+  explicit SVD(const Matrix& a, SvdKernel kernel = SvdKernel::Auto);
 
   const std::vector<double>& singularValues() const { return s_; }
   const Matrix& u() const { return u_; }
@@ -31,8 +116,10 @@ class SVD {
   /// Default rank tolerance: max(m,n) * eps * sigma_max.
   double defaultTol() const;
 
-  /// Numerical rank: number of singular values > tol (tol < 0 uses default).
-  std::size_t rank(double tol = -1.0) const;
+  /// Numerical rank under the shared policy (rankFromSingularValues):
+  /// number of singular values > tol (tol < 0 uses the default). When
+  /// `report` is non-null the decision is recorded into it.
+  std::size_t rank(double tol = -1.0, RankReport* report = nullptr) const;
 
   /// Orthonormal basis of the column space, m x rank.
   Matrix range(double tol = -1.0) const;
@@ -55,6 +142,19 @@ class SVD {
   Matrix u_, v_;
   bool transposed_ = false;
 };
+
+/// The historical unblocked Golub-Kahan-Reinsch kernel. Exposed for the
+/// blocked-vs-reference equivalence tests and kernel benchmarks;
+/// production code should construct SVD(), which dispatches per shape.
+inline SVD svdUnblocked(const Matrix& a) {
+  return SVD(a, SvdKernel::Unblocked);
+}
+
+/// The blocked kernel without the size dispatch (identical public
+/// contract). Exposed for benchmarks and equivalence tests; production
+/// code should construct SVD(). Requires min(m, n) >= 3 to block; below
+/// that it falls back to the unblocked kernel.
+inline SVD svdBlocked(const Matrix& a) { return SVD(a, SvdKernel::Blocked); }
 
 /// Convenience: numerical rank of A at the SVD default tolerance.
 std::size_t rank(const Matrix& a, double tol = -1.0);

@@ -47,15 +47,22 @@ LmiPassivityResult testPassivityLmi(const ds::DescriptorSystem& gIn,
           constraint(row, i * n + k) -= g.e(k, j);
         }
   }
-  Matrix xBasis = nEq == 0 ? Matrix::identity(n * n)
-                           : linalg::SVD(constraint).nullspace();
+  LmiPassivityResult res;
+  Matrix xBasis = Matrix::identity(n * n);
+  if (nEq != 0) {
+    linalg::SVD csvd(constraint);
+    csvd.rank(-1.0, &res.rankReport);
+    xBasis = csvd.nullspace();
+  }
   const std::size_t p = xBasis.cols();
 
   // --- Assemble the two LMI blocks over the reduced variables. --------
   // Block 1 (size n+m): [-A^T X - X^T A, -X^T B + C^T; -B^T X + C, D+D^T].
   // Block 2 (size r): R^T (E^T X) R with R = orth(Im E^T); symmetric by
   // construction of the subspace, and can be strictly definite there.
-  Matrix r = linalg::SVD(g.e.transposed()).range();
+  linalg::SVD etsvd(g.e.transposed());
+  etsvd.rank(-1.0, &res.rankReport);
+  Matrix r = etsvd.range();
   const std::size_t rr = r.cols();
 
   std::vector<SdpBlock> blocks(2);
@@ -87,7 +94,6 @@ LmiPassivityResult testPassivityLmi(const ds::DescriptorSystem& gIn,
   SdpOptions optAdj = opt;
   if (optAdj.earlyExitMargin < 0.0) optAdj.earlyExitMargin = 0.25 * epsReg;
   SdpResult sdp = solveSdpFeasibility(blocks, optAdj);
-  LmiPassivityResult res;
   res.passive = sdp.feasible;
   res.tStar = sdp.tStar;
   res.variables = p;

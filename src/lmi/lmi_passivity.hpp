@@ -7,6 +7,7 @@
 #pragma once
 
 #include "ds/descriptor.hpp"
+#include "linalg/svd.hpp"
 #include "lmi/sdp_solver.hpp"
 
 namespace shhpass::lmi {
@@ -17,6 +18,9 @@ struct LmiPassivityResult {
   double tStar = 0.0;          ///< Phase-I margin (>= -tol: feasible).
   std::size_t variables = 0;   ///< Dimension of the reduced X subspace.
   int newtonIterations = 0;
+  /// Health of the SVD rank decisions (shared policy, svd.hpp): the
+  /// symmetry-constraint kernel and the Im(E^T) compression basis.
+  linalg::RankReport rankReport;
 };
 
 /// Run the extended LMI test. The symmetry constraint E^T X = X^T E is

@@ -12,6 +12,8 @@
 
 #include <cmath>
 
+#include "api/shhpass.hpp"
+#include "circuits/generators.hpp"
 #include "circuits/mna.hpp"
 #include "circuits/netlist.hpp"
 #include "core/margin.hpp"
@@ -102,6 +104,49 @@ TEST(Golden, DcValue) {
   ds::TransferValue z = ds::evalTransfer(goldenCircuit(), 0.0, 0.0);
   EXPECT_NEAR(z.re(0, 0), kR1 + kR2, 1e-10);
   EXPECT_NEAR(z.im(0, 0), 0.0, 1e-12);
+}
+
+TEST(Golden, RankPolicyParityOnGoldenModelSet) {
+  // decisionEquals-style parity for the shared rank policy: the full
+  // decision path of the golden benchmark-model set, captured BEFORE the
+  // per-consumer hand-rolled singular-value cutoffs were unified onto
+  // rankFromSingularValues (blocked-SVD PR). The unification — and the
+  // blocked kernel itself — must not change a single verdict or
+  // deflation count.
+  struct Expected {
+    std::size_t order;
+    bool impulsive;
+    std::size_t remImp, remNon, chains, properOrder;
+  };
+  const Expected table[] = {
+      {25, true, 10, 12, 3, 14},  {25, false, 0, 16, 0, 17},
+      {30, true, 10, 14, 3, 18},  {30, false, 0, 18, 0, 21},
+      {35, true, 14, 16, 4, 20},  {35, false, 0, 22, 0, 24},
+      {64, true, 26, 28, 7, 37},  {64, false, 0, 42, 0, 43},
+      {100, true, 38, 42, 10, 60}, {100, false, 0, 66, 0, 67},
+  };
+  const api::PassivityAnalyzer analyzer;
+  for (const Expected& x : table) {
+    const ds::DescriptorSystem g =
+        circuits::makeBenchmarkModel(x.order, x.impulsive);
+    api::Result<api::AnalysisReport> r = analyzer.analyze(g);
+    ASSERT_TRUE(r.ok()) << x.order << (x.impulsive ? " imp" : " plain");
+    EXPECT_TRUE(r->passive) << x.order;
+    EXPECT_EQ(r->removedImpulsive, x.remImp) << x.order;
+    EXPECT_EQ(r->removedNondynamic, x.remNon) << x.order;
+    EXPECT_EQ(r->impulsiveChains, x.chains) << x.order;
+    EXPECT_EQ(r->properOrder, x.properOrder) << x.order;
+    // The rank-policy health record is populated and comfortable: every
+    // decision kept/dropped with a wide margin around the cutoff.
+    EXPECT_GE(r->rankPolicy.decisions, 4u) << x.order;
+    EXPECT_GT(r->rankPolicy.minKeptMargin, 10.0) << x.order;
+    EXPECT_LT(r->rankPolicy.maxDroppedMargin, 0.1) << x.order;
+    // Determinism: a re-run decisionEquals the first (rankPolicy fields
+    // participate in decisionEquals).
+    api::Result<api::AnalysisReport> again = analyzer.analyze(g);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(r->decisionEquals(*again)) << x.order;
+  }
 }
 
 TEST(Golden, ReductionReproducesExactly) {

@@ -1,9 +1,13 @@
 // Tests for the mode census and impulse controllability/observability
-// characterizations (Sec. 2.5 of the paper).
+// characterizations (Sec. 2.5 of the paper), plus regressions pinning
+// the shared SVD rank policy (linalg/svd.hpp) at the deflation
+// tolerance boundary.
 #include <gtest/gtest.h>
 
 #include "circuits/generators.hpp"
 #include "ds/impulse_tests.hpp"
+#include "ds/svd_coords.hpp"
+#include "linalg/svd.hpp"
 #include "test_support.hpp"
 
 namespace shhpass::ds {
@@ -150,6 +154,73 @@ TEST(CircuitModels, CensusAddsUp) {
   opt.impulsiveEvery = 2;
   ModeCensus mc = censusModes(circuits::makeRlcLadder(opt));
   EXPECT_EQ(mc.finite + mc.nondynamic + mc.impulsive, mc.order);
+}
+
+// ------------- shared rank policy at the deflation tolerance boundary
+
+// E = diag(1, delta, 0): whether the delta state counts as dynamic is
+// exactly one rankFromSingularValues decision. This pins the policy the
+// whole deflation chain keys off: strict sigma > tol, both sides of the
+// cutoff, the exact-boundary case, and stability under roundoff-level
+// tolerance wobble.
+DescriptorSystem nearSingularE(double delta) {
+  DescriptorSystem s;
+  s.e = linalg::Matrix::diag({1.0, delta, 0.0});
+  s.a = -1.0 * linalg::Matrix::identity(3);
+  s.b = linalg::Matrix(3, 1, 1.0);
+  s.c = linalg::Matrix(1, 3, 1.0);
+  s.d = linalg::Matrix(1, 1);
+  return s;
+}
+
+TEST(RankPolicyBoundary, RankEFollowsExplicitDeflationTolerance) {
+  const double tol = 1e-8;
+  EXPECT_EQ(toSvdCoordinates(nearSingularE(1e-6), tol).rankE, 2u);
+  EXPECT_EQ(toSvdCoordinates(nearSingularE(1e-10), tol).rankE, 1u);
+  // Exactly at the cutoff: the policy is strict (sigma > tol), so an
+  // exactly-at-tolerance singular value is DROPPED.
+  EXPECT_EQ(toSvdCoordinates(nearSingularE(tol), tol).rankE, 1u);
+  // Roundoff-level wobble of the cutoff must not flip either decision.
+  for (double wobble : {1.0 - 1e-13, 1.0 + 1e-13}) {
+    EXPECT_EQ(toSvdCoordinates(nearSingularE(1e-6), tol * wobble).rankE, 2u);
+    EXPECT_EQ(toSvdCoordinates(nearSingularE(1e-10), tol * wobble).rankE,
+              1u);
+  }
+}
+
+TEST(RankPolicyBoundary, RankReportRecordsDecisionSharpness) {
+  // delta barely above the cutoff: kept, but the recorded margin exposes
+  // how sharp the decision was (near 1 = near-flip).
+  const double tol = 1e-8;
+  SvdCoordinates sharp = toSvdCoordinates(nearSingularE(1.5e-8), tol);
+  EXPECT_EQ(sharp.rankE, 2u);
+  EXPECT_EQ(sharp.rankReport.decisions, 1u);
+  EXPECT_GT(sharp.rankReport.minKeptMargin, 1.0);
+  EXPECT_LT(sharp.rankReport.minKeptMargin, 2.0);  // 1.5e-8 / 1e-8
+  // The trailing exact zero is dropped with a huge distance to the
+  // cutoff: the dropped margin stays near 0.
+  EXPECT_LT(sharp.rankReport.maxDroppedMargin, 1e-3);
+  // A comfortable case: both margins far from 1.
+  SvdCoordinates wide = toSvdCoordinates(nearSingularE(1e-3), tol);
+  EXPECT_EQ(wide.rankReport.decisions, 1u);
+  EXPECT_GT(wide.rankReport.minKeptMargin, 1e3);
+}
+
+TEST(RankPolicyBoundary, ImpulseTestsStableAcrossPolicyWobble) {
+  // The Sec.-2.5 impulse characterizations are rank-decision chains; on
+  // a well-separated physical model they must be invariant under
+  // roundoff-level tolerance perturbation of the default policy.
+  circuits::LadderOptions opt;
+  opt.sections = 4;
+  ds::DescriptorSystem sys = circuits::makeRlcLadder(opt);
+  const double tol =
+      linalg::SVD(sys.e).defaultTol();  // resolved default cutoff
+  for (double wobble : {1.0 - 1e-13, 1.0, 1.0 + 1e-13}) {
+    EXPECT_FALSE(isImpulseFree(sys, tol * wobble));
+    EXPECT_TRUE(isImpulseControllable(sys, tol * wobble));
+    EXPECT_TRUE(isImpulseObservable(sys, tol * wobble));
+    EXPECT_EQ(pencilIndex(sys, tol * wobble), 2u);
+  }
 }
 
 }  // namespace

@@ -121,5 +121,68 @@ TEST(Reduction, FailsGracefullyOnDefectiveInput) {
   EXPECT_FALSE(rom.ok);
 }
 
+// ------------- rank decisions at the deflation tolerance boundary
+
+TEST(Reduction, HsvCutoffDecisionPinnedAtBoundary) {
+  // The Hankel truncation is a sigma-cutoff decision like the deflation
+  // rank policy: straddle one Hankel value with the relative tolerance
+  // and the retained order must move by exactly that state, stably under
+  // roundoff-level wobble of the cutoff.
+  circuits::LadderOptions opt;
+  opt.sections = 6;
+  opt.capAtPort = true;
+  opt.r = 5.0;
+  opt.l = 1e-5;
+  ds::DescriptorSystem g = circuits::makeRlcLadder(opt);
+  ReducedModel full = reduceDescriptor(g, 100);
+  ASSERT_TRUE(full.ok);
+  ASSERT_GE(full.hankel.size(), 3u);
+  // Find an interior HSV with a clean gap to its predecessor.
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < full.hankel.size(); ++i)
+    if (full.hankel[i] < 0.25 * full.hankel[i - 1]) j = i;
+  ASSERT_GT(j, 0u) << "ladder HSVs decay; a gapped index must exist";
+  const double ratio = full.hankel[j] / full.hankel.front();
+  for (double wobble : {1.0 - 1e-12, 1.0 + 1e-12}) {
+    ReducedModel keep = reduceDescriptor(g, 100, ratio * (1.0 - 1e-6) * wobble);
+    ReducedModel drop = reduceDescriptor(g, 100, ratio * (1.0 + 1e-6) * wobble);
+    ASSERT_TRUE(keep.ok);
+    ASSERT_TRUE(drop.ok);
+    EXPECT_EQ(keep.properOrder, j + 1) << "wobble " << wobble;
+    EXPECT_EQ(drop.properOrder, j) << "wobble " << wobble;
+  }
+}
+
+TEST(Reduction, NearRankDeficientMarkovMomentBoundary) {
+  // M1 = l for the plain ladder, so shrinking the port inductance drives
+  // the Markov moment toward rank deficiency. Pin both sides of the
+  // boundary: down to 1e-11 H the whole chain (deflation rank decisions,
+  // M1 extraction, reduction reassembly) keeps the impulsive part with
+  // the exact moment; at 1e-13 H the proper-part split degenerates and
+  // the pipeline CONSERVATIVELY refuses (LosslessAxisModes) instead of
+  // silently mis-deflating — the reduction then reports !ok rather than
+  // returning a model with a corrupted infinite-frequency behavior.
+  circuits::LadderOptions opt;
+  opt.sections = 4;
+  for (double l : {1e-9, 1e-11}) {
+    opt.l = l;
+    ds::DescriptorSystem keep = circuits::makeRlcLadder(opt);
+    ReducedModel rom = reduceDescriptor(keep, 100);
+    ASSERT_TRUE(rom.ok) << "l=" << l;
+    EXPECT_EQ(rom.impulsiveRank, 1u) << "l=" << l;
+    M1Extraction m1 = extractM1(keep);
+    EXPECT_EQ(m1.chainCount, 1u) << "l=" << l;
+    EXPECT_NEAR(m1.m1(0, 0), l, 1e-6 * l) << "l=" << l;
+  }
+  opt.l = 1e-13;
+  ds::DescriptorSystem degenerate = circuits::makeRlcLadder(opt);
+  EXPECT_FALSE(reduceDescriptor(degenerate, 100).ok);
+  PassivityResult pr = testPassivityShh(degenerate);
+  EXPECT_EQ(pr.failure, FailureStage::LosslessAxisModes);
+  // The structural chain census is scale-relative and still sees the
+  // grade-2 chain with its (near-zero) moment.
+  EXPECT_EQ(extractM1(degenerate).chainCount, 1u);
+}
+
 }  // namespace
 }  // namespace shhpass::core

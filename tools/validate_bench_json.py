@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Validate a BENCH_pipeline.json file against the documented schema.
 
-Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 1). Stdlib
-only — CI runs this after the bench smoke job with no pip installs.
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 2: version 1
+plus the svd kernel rows). Stdlib only — CI runs this after the bench
+smoke job with no pip installs.
 
 Usage: validate_bench_json.py PATH [--expect-order N]...
 Exit status 0 when the file conforms, 1 with a diagnostic otherwise.
@@ -62,7 +63,7 @@ def main():
 
     require(doc.get("schema") == "shhpass-bench-pipeline",
             f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
-    require(doc.get("schemaVersion") == 1,
+    require(doc.get("schemaVersion") == 2,
             f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
     require(doc.get("timeUnit") == "seconds",
             f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
@@ -112,7 +113,7 @@ def main():
     kernels = doc.get("kernels")
     require(isinstance(kernels, list) and kernels,
             "kernels must be a non-empty array")
-    gemm_variants = set()
+    variants = {}
     for i, row in enumerate(kernels):
         ctx = f"kernels[{i}]"
         require(isinstance(row, dict), f"{ctx}: must be an object")
@@ -123,10 +124,11 @@ def main():
         check_number(row, "n", ctx, minimum=1)
         check_number(row, "seconds", ctx, minimum=0.0)
         check_number(row, "gflops", ctx, minimum=0.0)
-        if row["kernel"] == "gemm":
-            gemm_variants.add(row["variant"])
-    require({"reference", "blocked"} <= gemm_variants,
-            f"kernels must cover gemm reference+blocked, got {gemm_variants}")
+        variants.setdefault(row["kernel"], set()).add(row["variant"])
+    require({"reference", "blocked"} <= variants.get("gemm", set()),
+            f"kernels must cover gemm reference+blocked, got {variants}")
+    require({"unblocked", "blocked"} <= variants.get("svd", set()),
+            f"kernels must cover svd unblocked+blocked, got {variants}")
 
     print(f"validate_bench_json: OK: {args.path} "
           f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows)")
