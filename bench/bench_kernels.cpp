@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark) of the numerical kernels underneath
 // the passivity tests: blocked vs reference gemm, blocked vs unblocked
-// Hessenberg, blocked vs unblocked SVD, real Schur, reordering, the
-// isotropic-Arnoldi reduction, and the stage-1 deflation. Useful for tracking the O(n^3)
+// Hessenberg, blocked vs unblocked SVD, multishift-AED vs unblocked real
+// Schur, reordering, the isotropic-Arnoldi reduction, and the stage-1
+// deflation. Useful for tracking the O(n^3)
 // scaling claims at the kernel level. (bench_pipeline is the
 // dependency-free macro harness that persists BENCH_pipeline.json; this
 // binary is for interactive kernel iteration.)
@@ -129,6 +130,42 @@ void BM_SvdBlocked(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SvdBlocked)->RangeMultiplier(2)->Range(128, 512)->Complexity();
+
+void BM_SchurUnblocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 43);
+  for (auto _ : state) {
+    auto rs = linalg::schurUnblocked(a);
+    benchmark::DoNotOptimize(rs.t);
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bench::schurNominalFlops(n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+// Ranges start at kSchurCrossover: below it realSchur() dispatches to the
+// unblocked kernel and the comparison would be self-vs-self.
+BENCHMARK(BM_SchurUnblocked)
+    ->RangeMultiplier(2)
+    ->Range(128, 512)
+    ->Complexity();
+
+void BM_SchurMultishift(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix a = randomMatrix(n, 43);
+  for (auto _ : state) {
+    auto rs = linalg::realSchur(a);
+    benchmark::DoNotOptimize(rs.t);
+  }
+  state.SetComplexityN(state.range(0));
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      bench::schurNominalFlops(n) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchurMultishift)
+    ->RangeMultiplier(2)
+    ->Range(128, 512)
+    ->Complexity();
 
 void BM_RealSchur(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

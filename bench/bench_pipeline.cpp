@@ -2,9 +2,10 @@
 //
 // Runs the public PassivityAnalyzer on the Table-1 benchmark family at a
 // fixed ladder of orders, records per-stage wall times from the stage
-// pipeline's StageTrace records plus reorder health, measures the dense
-// kernels (naive vs blocked gemm, unblocked vs blocked Hessenberg,
-// unblocked vs blocked SVD) in GFLOP/s, and writes everything as
+// pipeline's StageTrace records plus reorder and Schur-eigensolver
+// health, measures the dense kernels (naive vs blocked gemm, unblocked
+// vs blocked Hessenberg, unblocked vs blocked SVD, unblocked vs
+// multishift-AED Schur) in GFLOP/s, and writes everything as
 // BENCH_pipeline.json.
 //
 // The JSON schema is documented in docs/BENCHMARKS.md; the committed
@@ -37,6 +38,7 @@
 #include "bench_support.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/hessenberg.hpp"
+#include "linalg/schur.hpp"
 #include "linalg/svd.hpp"
 
 namespace {
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
   api::json::Writer w;
   w.beginObject();
   w.key("schema").value("shhpass-bench-pipeline");
-  w.key("schemaVersion").value(std::size_t{2});
+  w.key("schemaVersion").value(std::size_t{3});
   w.key("timeUnit").value("seconds");
   w.key("gemmThreads").value(linalg::gemmThreads());
   w.key("reps").value(static_cast<std::size_t>(reps));
@@ -149,6 +151,14 @@ int main(int argc, char** argv) {
     w.key("maxResidual").value(rep.reorder.maxResidual);
     w.key("eigenvalueDrift").value(rep.reorder.eigenvalueDrift);
     w.endObject();
+    w.key("schur").beginObject();
+    w.key("multishift").value(rep.schur.multishift);
+    w.key("sweeps").value(rep.schur.sweeps);
+    w.key("aedWindows").value(rep.schur.aedWindows);
+    w.key("aedDeflations").value(rep.schur.aedDeflations);
+    w.key("shiftsApplied").value(rep.schur.shiftsApplied);
+    w.key("iterations").value(rep.schur.iterations);
+    w.endObject();
     w.endObject();
   }
   w.endArray();
@@ -187,6 +197,11 @@ int main(int argc, char** argv) {
                               [&] { linalg::svdUnblocked(a); }));
     rows.push_back(timeKernel("svd", n, "blocked", svdFlops, reps,
                               [&] { linalg::svdBlocked(a); }));
+    const double schurFlops = bench::schurNominalFlops(n);
+    rows.push_back(timeKernel("schur", n, "unblocked", schurFlops, reps,
+                              [&] { linalg::schurUnblocked(a); }));
+    rows.push_back(timeKernel("schur", n, "multishift", schurFlops, reps,
+                              [&] { linalg::realSchur(a); }));
   }
   w.key("kernels").beginArray();
   for (const KernelRow& r : rows) {

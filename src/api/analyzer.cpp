@@ -33,6 +33,14 @@ bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
       rankPolicy.minKeptMargin != other.rankPolicy.minKeptMargin ||
       rankPolicy.maxDroppedMargin != other.rankPolicy.maxDroppedMargin)
     return false;
+  if (schur.multishift != other.schur.multishift ||
+      schur.sweeps != other.schur.sweeps ||
+      schur.aedWindows != other.schur.aedWindows ||
+      schur.aedDeflations != other.schur.aedDeflations ||
+      schur.shiftsApplied != other.schur.shiftsApplied ||
+      schur.iterations != other.schur.iterations ||
+      schur.structureRepairs != other.schur.structureRepairs)
+    return false;
   if (warnings != other.warnings) return false;
   if (stages.size() != other.stages.size()) return false;
   for (std::size_t k = 0; k < stages.size(); ++k) {
@@ -65,6 +73,15 @@ std::string AnalysisReport::toJson() const {
   w.key("maxResidual").value(reorder.maxResidual);
   w.key("eigenvalueDrift").value(reorder.eigenvalueDrift);
   w.key("standardizations").value(reorder.standardizations);
+  w.endObject();
+  w.key("schur").beginObject();
+  w.key("multishift").value(schur.multishift);
+  w.key("sweeps").value(schur.sweeps);
+  w.key("aedWindows").value(schur.aedWindows);
+  w.key("aedDeflations").value(schur.aedDeflations);
+  w.key("shiftsApplied").value(schur.shiftsApplied);
+  w.key("iterations").value(schur.iterations);
+  w.key("structureRepairs").value(schur.structureRepairs);
   w.endObject();
   w.key("rankPolicy").beginObject();
   w.key("decisions").value(rankPolicy.decisions);
@@ -169,6 +186,7 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   report.m1 = state.result.m1;
   report.properOrder = state.result.properPart.lambda.rows();
   report.reorder = state.result.reorder;
+  report.schur = state.result.schur;
   report.rankPolicy = state.result.rankPolicy;
   if (report.reorder.rejectedSwaps > 0)
     report.warnings.push_back(Warning::ReorderSwapRejected);

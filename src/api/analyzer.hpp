@@ -14,6 +14,7 @@
 #include "api/pipeline.hpp"
 #include "api/status.hpp"
 #include "ds/descriptor.hpp"
+#include "linalg/schur_multishift.hpp"
 #include "linalg/schur_reorder.hpp"
 
 namespace shhpass::api {
@@ -50,6 +51,12 @@ struct AnalysisReport {
   /// Health of the Schur reordering behind the Eq.-(22) stable/antistable
   /// split (zeroed when the run never reached the proper-part stage).
   linalg::ReorderReport reorder;
+  /// Health of the real Schur eigensolver behind that split: which
+  /// kernel path ran (multishift vs unblocked oracle), sweep / AED /
+  /// shift / iteration counters (linalg/schur_multishift.hpp; zeroed
+  /// when the run never reached the proper-part stage). Serialized
+  /// under diagnostics.schur.
+  linalg::SchurReport schur;
   /// Health of the shared-policy SVD rank decisions behind every
   /// deflation step (decision count + worst kept/dropped margins,
   /// linalg/svd.hpp; empty when the run stopped before the deflation

@@ -107,6 +107,7 @@ class ProperPartStage final : public Stage {
     s.result.properPart = core::extractProperPart(
         s.nondynamic.shh, s.options.imagTol, s.options.rankTol);
     s.result.reorder = s.result.properPart.reorder;
+    s.result.schur = s.result.properPart.schur;
     s.result.rankPolicy.merge(s.result.properPart.rankReport);
     if (!s.result.properPart.ok)
       return verdict(core::FailureStage::LosslessAxisModes);

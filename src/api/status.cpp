@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "linalg/schur_multishift.hpp"
+
 namespace shhpass::api {
 
 const char* errorCodeName(ErrorCode code) {
@@ -17,6 +19,7 @@ const char* errorCodeName(ErrorCode code) {
     case ErrorCode::ProperPartNotPr: return "PROPER_PART_NOT_PR";
     case ErrorCode::InvalidArgument: return "INVALID_ARGUMENT";
     case ErrorCode::NumericalFailure: return "NUMERICAL_FAILURE";
+    case ErrorCode::SchurNoConvergence: return "SCHUR_NO_CONVERGENCE";
     case ErrorCode::Internal: return "INTERNAL";
   }
   return "UNKNOWN";
@@ -101,6 +104,10 @@ Status statusFromCurrentException() {
     throw;
   } catch (const std::invalid_argument& e) {
     return Status::error(ErrorCode::InvalidArgument, e.what());
+  } catch (const linalg::SchurConvergenceError& e) {
+    // More-derived first: the typed eigensolver failure would otherwise
+    // be swallowed by the generic runtime_error -> NUMERICAL_FAILURE map.
+    return Status::error(ErrorCode::SchurNoConvergence, e.what());
   } catch (const std::runtime_error& e) {
     return Status::error(ErrorCode::NumericalFailure, e.what());
   } catch (const std::exception& e) {

@@ -35,9 +35,12 @@ enum class ErrorCode {
   ProperPartNotPr,      ///< FailureStage::ProperPartNotPr
 
   // Operational errors.
-  InvalidArgument,   ///< Malformed request (was std::invalid_argument).
-  NumericalFailure,  ///< Kernel breakdown (was std::runtime_error).
-  Internal,          ///< Unexpected failure (was any other exception).
+  InvalidArgument,     ///< Malformed request (was std::invalid_argument).
+  NumericalFailure,    ///< Kernel breakdown (was std::runtime_error).
+  SchurNoConvergence,  ///< The real Schur QR iteration exhausted its
+                       ///< iteration budget (linalg::SchurConvergenceError;
+                       ///< historically an untyped std::runtime_error).
+  Internal,            ///< Unexpected failure (was any other exception).
 };
 
 /// Stable machine-readable name of a code (e.g. "M1_NOT_PSD").

@@ -65,6 +65,7 @@ StableSubspace stableInvariantSubspace(const Matrix& h, double imagTol) {
     return out;
   }
   linalg::RealSchurResult rs = linalg::realSchur(h);
+  out.schur = rs.report;
   // A Hamiltonian spectrum splits evenly unless eigenvalues sit on the axis.
   const double floor_ =
       1e3 * std::numeric_limits<double>::epsilon() * h.normFrobenius();

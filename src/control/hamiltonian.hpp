@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/schur_multishift.hpp"
 #include "linalg/schur_reorder.hpp"
 
 namespace shhpass::control {
@@ -32,6 +33,9 @@ struct StableSubspace {
   /// Health record of the Schur reordering that separated the spectrum
   /// (swap/reject counts, max residual, drift bound).
   linalg::ReorderReport reorder;
+  /// Health record of the real Schur factorization underneath (which
+  /// kernel path ran, sweep / AED / shift / iteration counters).
+  linalg::SchurReport schur;
 };
 
 /// Compute the stable invariant subspace of a Hamiltonian matrix via ordered

@@ -12,7 +12,19 @@ using linalg::Matrix;
 Matrix solveLyapunov(const Matrix& a, const Matrix& q) {
   if (!a.isSquare() || !q.isSquare() || a.rows() != q.rows())
     throw std::invalid_argument("solveLyapunov: shape mismatch");
-  Matrix y = solveSylvester(a, a.transposed(), -1.0 * q);
+  // Fast paths: a coefficient that is already a real Schur factor (the
+  // Eq.-(23) decoupling hands us the reordered quasi-triangular stable
+  // block) — or the transpose of one (the observability-Gramian solve of
+  // the balanced-truncation reduction) — skips both Schur factorizations
+  // of the general solver.
+  Matrix y;
+  if (isQuasiTriangular(a)) {
+    y = solveSylvesterTransposedRight(a, -1.0 * q);
+  } else {
+    const Matrix at = a.transposed();
+    y = isQuasiTriangular(at) ? solveSylvesterTransposedLeft(at, -1.0 * q)
+                              : solveSylvester(a, at, -1.0 * q);
+  }
   if (q.isSymmetric(1e-12 * std::max(1.0, q.maxAbs()))) linalg::symmetrize(y);
   return y;
 }

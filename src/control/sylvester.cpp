@@ -25,27 +25,29 @@ std::vector<std::pair<std::size_t, std::size_t>> blocks(const Matrix& t) {
   return out;
 }
 
-// Solve the small system A X + X B = C with p, q <= 2 via Kronecker LU.
+// Solve the small system A X + X B = C with p, q <= 2 via the Kronecker
+// linear system, on stack storage (linalg::solveSmallDense) — the
+// quasi-triangular back-substitutions call this once per block pair,
+// which is tens of thousands of times for the proper-part Lyapunov
+// solve, so the historical Matrix/LU churn dominated their runtime.
 Matrix smallBlockSolve(const Matrix& a, const Matrix& b, const Matrix& c) {
   const std::size_t p = a.rows(), q = b.rows();
-  Matrix k(p * q, p * q);
+  const std::size_t pq = p * q;
+  double k[16] = {0.0};
+  double rhs[4];
   for (std::size_t j = 0; j < q; ++j)
     for (std::size_t i = 0; i < p; ++i) {
       const std::size_t row = j * p + i;
-      for (std::size_t l = 0; l < p; ++l) k(row, j * p + l) += a(i, l);
-      for (std::size_t l = 0; l < q; ++l) k(row, l * p + i) += b(l, j);
+      for (std::size_t l = 0; l < p; ++l) k[row * pq + j * p + l] += a(i, l);
+      for (std::size_t l = 0; l < q; ++l) k[row * pq + l * p + i] += b(l, j);
+      rhs[row] = c(i, j);
     }
-  Matrix rhs(p * q, 1);
-  for (std::size_t j = 0; j < q; ++j)
-    for (std::size_t i = 0; i < p; ++i) rhs(j * p + i, 0) = c(i, j);
-  linalg::LU lu(k);
-  if (lu.isSingular(1e-13))
+  if (!linalg::solveSmallDense(k, rhs, pq, 1e-13))
     throw std::runtime_error(
         "solveSylvester: spectra of A and -B intersect; equation singular");
-  Matrix xv = lu.solve(rhs);
   Matrix x(p, q);
   for (std::size_t j = 0; j < q; ++j)
-    for (std::size_t i = 0; i < p; ++i) x(i, j) = xv(j * p + i, 0);
+    for (std::size_t i = 0; i < p; ++i) x(i, j) = rhs[j * p + i];
   return x;
 }
 
@@ -87,6 +89,86 @@ Matrix solveSylvesterQuasiTriangular(const Matrix& s, const Matrix& t,
     }
   }
   return y;
+}
+
+Matrix solveSylvesterTransposedRight(const Matrix& s, const Matrix& f) {
+  const std::size_t n = s.rows();
+  if (!s.isSquare() || f.rows() != n || f.cols() != n)
+    throw std::invalid_argument("solveSylvesterTransposedRight: shape");
+  Matrix y(n, n);
+  const auto sBlocks = blocks(s);
+
+  // (Y S^T)(:, k) involves Y columns j >= k, so column blocks go right ->
+  // left; within each, row blocks bottom -> top as in the general solver.
+  for (auto ct = sBlocks.rbegin(); ct != sBlocks.rend(); ++ct) {
+    const auto [kc, qc] = *ct;
+    Matrix rhsCol = f.block(0, kc, n, qc);
+    const std::size_t after = kc + qc;
+    if (after < n) {
+      Matrix yLater = y.block(0, after, n, n - after);
+      Matrix sRow = s.block(kc, after, qc, n - after);
+      rhsCol -= linalg::abt(yLater, sRow);
+    }
+    Matrix tkk = s.block(kc, kc, qc, qc).transposed();
+    for (auto it = sBlocks.rbegin(); it != sBlocks.rend(); ++it) {
+      const auto [ir, pr] = *it;
+      Matrix r = rhsCol.block(ir, 0, pr, qc);
+      const std::size_t below = ir + pr;
+      if (below < n) {
+        Matrix sRow = s.block(ir, below, pr, n - below);
+        Matrix yBelow = y.block(below, kc, n - below, qc);
+        r -= sRow * yBelow;
+      }
+      Matrix sii = s.block(ir, ir, pr, pr);
+      Matrix yik = smallBlockSolve(sii, tkk, r);
+      y.setBlock(ir, kc, yik);
+    }
+  }
+  return y;
+}
+
+Matrix solveSylvesterTransposedLeft(const Matrix& s, const Matrix& f) {
+  const std::size_t n = s.rows();
+  if (!s.isSquare() || f.rows() != n || f.cols() != n)
+    throw std::invalid_argument("solveSylvesterTransposedLeft: shape");
+  Matrix y(n, n);
+  const auto sBlocks = blocks(s);
+
+  // (Y S)(:, k) involves Y columns j <= k, so column blocks go left ->
+  // right; (S^T Y)(i, :) involves Y rows j <= i, so row blocks go top ->
+  // bottom.
+  for (const auto& [kc, qc] : sBlocks) {
+    Matrix rhsCol = f.block(0, kc, n, qc);
+    if (kc > 0) {
+      Matrix yPrev = y.block(0, 0, n, kc);
+      Matrix sCol = s.block(0, kc, kc, qc);
+      rhsCol -= yPrev * sCol;
+    }
+    Matrix tkk = s.block(kc, kc, qc, qc);
+    for (const auto& [ir, pr] : sBlocks) {
+      Matrix r = rhsCol.block(ir, 0, pr, qc);
+      if (ir > 0) {
+        Matrix sColI = s.block(0, ir, ir, pr);
+        Matrix yAbove = y.block(0, kc, ir, qc);
+        r -= linalg::atb(sColI, yAbove);
+      }
+      Matrix sii = s.block(ir, ir, pr, pr).transposed();
+      Matrix yik = smallBlockSolve(sii, tkk, r);
+      y.setBlock(ir, kc, yik);
+    }
+  }
+  return y;
+}
+
+bool isQuasiTriangular(const Matrix& t) {
+  if (!t.isSquare()) return false;
+  const std::size_t n = t.rows();
+  for (std::size_t i = 2; i < n; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j)
+      if (t(i, j) != 0.0) return false;
+  for (std::size_t i = 0; i + 2 < n; ++i)
+    if (t(i + 1, i) != 0.0 && t(i + 2, i + 1) != 0.0) return false;
+  return true;
 }
 
 Matrix solveSylvester(const Matrix& a, const Matrix& b, const Matrix& c) {

@@ -18,4 +18,27 @@ linalg::Matrix solveSylvesterQuasiTriangular(const linalg::Matrix& s,
                                              const linalg::Matrix& t,
                                              const linalg::Matrix& f);
 
+/// Solve the Lyapunov-shaped equation S Y + Y S^T = F where S is already
+/// quasi-upper-triangular. Column blocks of Y are back-substituted right
+/// to left (S^T is quasi-LOWER-triangular, so the dependency order is
+/// mirrored), skipping both Schur factorizations of the general solver —
+/// the fast path solveLyapunov takes when its coefficient is a Schur
+/// factor to begin with (e.g. the reordered stable block in the Eq.-(23)
+/// Hamiltonian decoupling).
+linalg::Matrix solveSylvesterTransposedRight(const linalg::Matrix& s,
+                                             const linalg::Matrix& f);
+
+/// The mirrored orientation: solve S^T Y + Y S = F with S quasi-upper-
+/// triangular (column blocks left to right, row blocks top to bottom).
+/// This is the fast path for Lyapunov equations whose coefficient is the
+/// TRANSPOSE of a Schur factor — e.g. the observability Gramian
+/// solveLyapunov(Lambda^T, C^T C) of the balanced-truncation reduction.
+linalg::Matrix solveSylvesterTransposedLeft(const linalg::Matrix& s,
+                                            const linalg::Matrix& f);
+
+/// True iff t is quasi-upper-triangular with a well-defined block
+/// partition: zero below the first subdiagonal and no two consecutive
+/// nonzero subdiagonal entries.
+bool isQuasiTriangular(const linalg::Matrix& t);
+
 }  // namespace shhpass::control

@@ -56,6 +56,10 @@ struct PassivityResult {
   /// ill-posed and the ordering is incomplete — a LosslessAxisModes
   /// verdict is then conservative rather than certain.
   linalg::ReorderReport reorder;
+  /// Health of the real Schur eigensolver behind that split (which
+  /// kernel path ran, multishift sweep / AED / shift / iteration
+  /// counters — linalg/schur_multishift.hpp).
+  linalg::SchurReport schur;
   /// Health of every SVD rank decision the deflation chain took (shared
   /// policy, linalg/svd.hpp), merged across the impulse-deflation,
   /// nondynamic-removal, and proper-part stages. A kept margin near 1

@@ -1,5 +1,6 @@
 #include "core/proper_part.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
@@ -59,9 +60,21 @@ ProperPartResult extractProperPart(const shh::ShhRealization& s3,
   zr.setBlock(0, 0, zTop);
   zr.setBlock(0, np, (zBot - zTop * x) * ebarInvT);
 
-  linalg::SVD wsvd(tri.w);
-  out.condNormalizer = wsvd.cond();
-  wsvd.rank(rankTol, &out.rankReport);
+  // Normalizer conditioning / rank certificate, on the factor the
+  // normalization actually inverts: every solve above goes through
+  // LU(Ebar), so sigma(Ebar) is the spectrum that bounds the error of
+  // Z_L and Z_R (the historical check ran a full SVD of the whole
+  // 2np x 2np block-triangular K for the same certificate, at 4x the
+  // cost and with the bases discarded). singularValues() skips the
+  // U/V accumulation entirely.
+  const std::vector<double> esv = linalg::singularValues(ebar);
+  const double esmin = esv.empty() ? 0.0 : esv.back();
+  out.condNormalizer =
+      esv.empty() ? 1.0
+                  : (esmin == 0.0 ? std::numeric_limits<double>::infinity()
+                                  : esv.front() / esmin);
+  linalg::rankFromSingularValues(esv, ebar.rows(), ebar.cols(), rankTol,
+                                 &out.rankReport);
 
   // A4 = Z_L A3 Z_R is Hamiltonian; C4 = C3 Z_R; B4 = J C4^T automatically.
   out.a4 = zl * s3.a * zr;
@@ -70,6 +83,7 @@ ProperPartResult extractProperPart(const shh::ShhRealization& s3,
   // (Eqs. 22-23) Split the Hamiltonian spectrum and decouple.
   shh::HamiltonianDecoupling dec = shh::decoupleHamiltonian(out.a4, imagTol);
   out.reorder = dec.reorder;
+  out.schur = dec.schur;
   if (!dec.ok) return out;  // imaginary-axis eigenvalues: cannot split
 
   Matrix c5 = c4 * dec.z2;

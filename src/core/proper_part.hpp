@@ -13,6 +13,7 @@
 // A4 = Z_L A3 Z_R Hamiltonian and B4 = J C4^T.
 #pragma once
 
+#include "linalg/schur_multishift.hpp"
 #include "linalg/schur_reorder.hpp"
 #include "linalg/svd.hpp"
 #include "shh/shh_pencil.hpp"
@@ -28,12 +29,21 @@ struct ProperPartResult {
   linalg::Matrix c1;        ///< m x np output map.
   linalg::Matrix dHalf;     ///< m x m feedthrough D_phi / 2.
   linalg::Matrix a4;        ///< The intermediate Hamiltonian A4 (diagnostic).
-  double condNormalizer = 1.0;  ///< cond of the E3 normalizing factor K.
+  /// Condition number of Ebar, the triangular factor of the E3
+  /// normalizer K = K_L K_R that the normalization solves against
+  /// (every Z_L / Z_R solve goes through LU(Ebar), so this is the
+  /// conditioning that bounds their error).
+  double condNormalizer = 1.0;
   /// Health record of the Schur reordering behind the Eq.-(22) split.
   linalg::ReorderReport reorder;
-  /// Health of the SVD rank decision on the E3 normalizer (shared
-  /// policy, svd.hpp): full rank expected; a dropped value here means
-  /// the upstream nonsingularity invariant is numerically marginal.
+  /// Health record of the real Schur eigensolver behind that split
+  /// (multishift/unblocked path, sweep / AED / shift / iteration
+  /// counters — linalg/schur_multishift.hpp).
+  linalg::SchurReport schur;
+  /// Health of the SVD rank decision on Ebar, the inverted factor of
+  /// the E3 normalizer (shared policy, svd.hpp): full rank expected; a
+  /// dropped value here means the upstream nonsingularity invariant is
+  /// numerically marginal.
   linalg::RankReport rankReport;
 };
 

@@ -1,5 +1,6 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -41,6 +42,38 @@ LU::LU(const Matrix& a) : lu_(a), p_(a.rows()) {
     }
   }
   if (n == 0) minPivot_ = 0.0;
+}
+
+bool solveSmallDense(double* a, double* b, std::size_t n, double tol) {
+  double minPivot = std::numeric_limits<double>::infinity();
+  double maxPivot = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a[i * n + k]) > std::abs(a[piv * n + k])) piv = i;
+    if (piv != k) {
+      for (std::size_t j = k; j < n; ++j)
+        std::swap(a[k * n + j], a[piv * n + j]);
+      std::swap(b[k], b[piv]);
+    }
+    const double akk = a[k * n + k];
+    minPivot = std::min(minPivot, std::abs(akk));
+    maxPivot = std::max(maxPivot, std::abs(akk));
+    if (akk == 0.0) continue;  // zero pivot: flagged singular below
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double l = a[i * n + k] / akk;
+      if (l == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a[i * n + j] -= l * a[k * n + j];
+      b[i] -= l * b[k];
+    }
+  }
+  if (minPivot <= tol * (maxPivot > 0.0 ? maxPivot : 1.0)) return false;
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a[i * n + j] * b[j];
+    b[i] = acc / a[i * n + i];
+  }
+  return true;
 }
 
 bool LU::isSingular(double tol) const {

@@ -5,6 +5,16 @@
 
 namespace shhpass::linalg {
 
+/// Solve the tiny dense system A x = b in place on caller storage (a is
+/// n x n row-major and is destroyed; the solution overwrites b), with
+/// partial pivoting. Returns false — without solving — when the system is
+/// numerically singular under the LU::isSingular criterion
+/// (min pivot <= tol * max pivot). An allocation-free fast path for the
+/// Kronecker systems (n <= 4) that the Schur-reorder swap rehearsals and
+/// the quasi-triangular Sylvester back-substitution solve tens of
+/// thousands of times per reordering.
+bool solveSmallDense(double* a, double* b, std::size_t n, double tol);
+
 /// PA = LU factorization with partial (row) pivoting.
 class LU {
  public:

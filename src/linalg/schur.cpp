@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/hessenberg.hpp"
+#include "linalg/schur_multishift.hpp"
 #include "linalg/schur_reorder.hpp"
 
 namespace shhpass::linalg {
@@ -13,7 +14,7 @@ namespace {
 // Francis double-shift QR on an upper Hessenberg matrix with accumulation
 // (EISPACK hqr2 / JAMA lineage, eigenvector back-substitution omitted).
 void hqr2(Matrix& h, Matrix& v, std::vector<double>& d,
-          std::vector<double>& e) {
+          std::vector<double>& e, SchurReport* report = nullptr) {
   const int nn = static_cast<int>(h.rows());
   int n = nn - 1;
   const int low = 0, high = nn - 1;
@@ -29,8 +30,11 @@ void hqr2(Matrix& h, Matrix& v, std::vector<double>& d,
   long totalIter = 0;
   const long maxTotalIter = 60L * nn + 200;
   while (n >= low) {
-    if (++totalIter > maxTotalIter)
-      throw std::runtime_error("realSchur: QR iteration failed to converge");
+    if (++totalIter > maxTotalIter) {
+      if (report) report->iterations += totalIter;
+      throw SchurConvergenceError(
+          "schurUnblocked: QR iteration failed to converge");
+    }
 
     // Look for a single small subdiagonal element.
     int l = n;
@@ -97,6 +101,14 @@ void hqr2(Matrix& h, Matrix& v, std::vector<double>& d,
         e[n - 1] = z;
         e[n] = -z;
       }
+      // Either way the pair has converged: the subdiagonal entry the
+      // deflation test judged negligible (under the exshift-ed
+      // diagonals) is zeroed NOW. Historically it was left behind,
+      // which could leave an eps-level entry between two genuine 2x2
+      // blocks — overlapping blocks that desynced every downstream
+      // block scan until repairQuasiTriangularStructure patched them
+      // post hoc.
+      if (l > low) h(l, l - 1) = 0.0;
       n -= 2;
       iter = 0;
     } else {
@@ -217,12 +229,40 @@ void hqr2(Matrix& h, Matrix& v, std::vector<double>& d,
       }
     }
   }
+  if (report) report->iterations += totalIter;
+}
+
+// Cleanup shared by both Schur paths: clean below-quasidiagonal entries
+// left by deflation bookkeeping, zero the subdiagonal entries the
+// iteration declared negligible so the result is exactly
+// quasi-triangular, certify the block structure, and standardize every
+// remaining 2x2 block (shared dlanv2 kernel): complex pairs get equal
+// diagonals and opposite-sign off-diagonals; blocks whose eigenvalues
+// turn out real are split into 1x1 blocks. Downstream block logic
+// (reordering, invariant-subspace extraction) relies on this form.
+void finalizeSchurForm(RealSchurResult& res) {
+  const std::size_t n = res.t.rows();
+  const double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j + 1 < i; ++j) res.t(i, j) = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double sub = std::abs(res.t(i + 1, i));
+    if (sub != 0.0 &&
+        sub <= eps * (std::abs(res.t(i, i)) + std::abs(res.t(i + 1, i + 1))))
+      res.t(i + 1, i) = 0.0;
+  }
+  res.report.structureRepairs += repairQuasiTriangularStructure(res.t);
+  standardizeQuasiTriangular(res.t, res.q);
+  // Extract eigenvalues from the standardized quasi-triangular factor so
+  // (t, eigenvalues) are exactly consistent.
+  res.eigenvalues = quasiTriangularEigenvalues(res.t);
 }
 
 }  // namespace
 
-RealSchurResult realSchur(const Matrix& a) {
-  if (!a.isSquare()) throw std::invalid_argument("realSchur: not square");
+RealSchurResult schurUnblocked(const Matrix& a) {
+  if (!a.isSquare())
+    throw std::invalid_argument("schurUnblocked: not square");
   const std::size_t n = a.rows();
   RealSchurResult res;
   if (n == 0) {
@@ -234,28 +274,21 @@ RealSchurResult realSchur(const Matrix& a) {
   res.t = std::move(hes.h);
   res.q = std::move(hes.q);
   std::vector<double> d(n, 0.0), e(n, 0.0);
-  hqr2(res.t, res.q, d, e);
-  // Clean below-quasidiagonal entries left by deflation bookkeeping, and
-  // zero the subdiagonal entries the iteration declared negligible so the
-  // result is exactly quasi-triangular for downstream block logic.
-  const double eps = std::numeric_limits<double>::epsilon();
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j + 1 < i; ++j) res.t(i, j) = 0.0;
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    const double sub = std::abs(res.t(i + 1, i));
-    if (sub != 0.0 &&
-        sub <= eps * (std::abs(res.t(i, i)) + std::abs(res.t(i + 1, i + 1))))
-      res.t(i + 1, i) = 0.0;
-  }
-  repairQuasiTriangularStructure(res.t);
-  // Standardize every remaining 2x2 block (shared dlanv2 kernel): complex
-  // pairs get equal diagonals and opposite-sign off-diagonals; blocks whose
-  // eigenvalues turn out real are split into 1x1 blocks. Downstream block
-  // logic (reordering, invariant-subspace extraction) relies on this form.
-  standardizeQuasiTriangular(res.t, res.q);
-  // Extract eigenvalues from the standardized quasi-triangular factor so
-  // (t, eigenvalues) are exactly consistent.
-  res.eigenvalues = quasiTriangularEigenvalues(res.t);
+  hqr2(res.t, res.q, d, e, &res.report);
+  finalizeSchurForm(res);
+  return res;
+}
+
+RealSchurResult realSchur(const Matrix& a) {
+  if (!a.isSquare()) throw std::invalid_argument("realSchur: not square");
+  const std::size_t n = a.rows();
+  if (n < kSchurCrossover) return schurUnblocked(a);
+  RealSchurResult res;
+  HessenbergResult hes = hessenberg(a);
+  res.t = std::move(hes.h);
+  res.q = std::move(hes.q);
+  multishiftSchurHessenberg(res.t, res.q, &res.report);
+  finalizeSchurForm(res);
   return res;
 }
 
@@ -263,8 +296,9 @@ std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
   return realSchur(a).eigenvalues;
 }
 
-void repairQuasiTriangularStructure(Matrix& t) {
+std::size_t repairQuasiTriangularStructure(Matrix& t) {
   const std::size_t n = t.rows();
+  std::size_t repairs = 0;
   // Only entries negligible at the global scale may be zeroed: removing
   // one is a backward-stable perturbation of size <= tol. Overlapping
   // blocks whose subdiagonals are BOTH significant mean the input is not
@@ -288,10 +322,12 @@ void repairQuasiTriangularStructure(Matrix& t) {
           t(i + 1, i) = 0.0;
         else
           t(i + 2, i + 1) = 0.0;
+        ++repairs;
         again = true;
       }
     }
   }
+  return repairs;
 }
 
 std::vector<std::complex<double>> quasiTriangularEigenvalues(const Matrix& t) {

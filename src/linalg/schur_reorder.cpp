@@ -7,8 +7,8 @@
 #include <vector>
 
 #include "linalg/blas.hpp"
+#include "linalg/householder.hpp"
 #include "linalg/lu.hpp"
-#include "linalg/qr.hpp"
 #include "linalg/schur.hpp"
 
 namespace shhpass::linalg {
@@ -129,7 +129,14 @@ Lanv2 lanv2(double a, double b, double c, double d) {
 // below the block are exact zeros likewise) — the same values the
 // full-range update would produce, at half the work. Q has no structure
 // and gets full-height column updates.
-void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn) {
+// `qTransposed` selects how the accumulation matrix is stored: false
+// means q IS Q (columns j, j+1 are rotated, a stride-n access pattern);
+// true means q holds Q^T (rows j, j+1 are rotated, streaming through
+// contiguous memory — what reorderSchur uses for its thousands of
+// swaps). The per-element arithmetic is identical either way, so the
+// two layouts produce bit-identical values.
+void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn,
+                   bool qTransposed = false) {
   const std::size_t n = t.rows();
   for (std::size_t col = j; col < n; ++col) {
     const double x = t(j, col), y = t(j + 1, col);
@@ -141,10 +148,21 @@ void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn) {
     t(row, j) = cs * x + sn * y;
     t(row, j + 1) = -sn * x + cs * y;
   }
-  for (std::size_t row = 0; row < n; ++row) {
-    const double qx = q(row, j), qy = q(row, j + 1);
-    q(row, j) = cs * qx + sn * qy;
-    q(row, j + 1) = -sn * qx + cs * qy;
+  if (qTransposed) {
+    double* a = &q(j, 0);
+    double* b = &q(j + 1, 0);
+    const std::size_t qn = q.cols();
+    for (std::size_t col = 0; col < qn; ++col) {
+      const double qx = a[col], qy = b[col];
+      a[col] = cs * qx + sn * qy;
+      b[col] = -sn * qx + cs * qy;
+    }
+  } else {
+    for (std::size_t row = 0; row < q.rows(); ++row) {
+      const double qx = q(row, j), qy = q(row, j + 1);
+      q(row, j) = cs * qx + sn * qy;
+      q(row, j + 1) = -sn * qx + cs * qy;
+    }
   }
 }
 
@@ -155,7 +173,7 @@ void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn) {
 // used, so accepted swaps produce identical values without materializing
 // any n-sized temporaries.
 void applyWindowSimilarity(Matrix& t, Matrix& q, const Matrix& g,
-                           std::size_t j) {
+                           std::size_t j, bool qTransposed = false) {
   const std::size_t w = g.rows(), n = t.rows();
   double tmp[4];
   // Rows j..j+w-1 of T from column j rightward: T_rows <- G^T T_rows.
@@ -176,42 +194,99 @@ void applyWindowSimilarity(Matrix& t, Matrix& q, const Matrix& g,
     }
     for (std::size_t c = 0; c < w; ++c) t(r, j + c) = tmp[c];
   }
-  // Q columns j..j+w-1, full height.
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < w; ++c) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < w; ++k) s += q(r, j + k) * g(k, c);
-      tmp[c] = s;
+  // Q columns j..j+w-1, full height (as rows of Q^T when transposed;
+  // same multiply/add sequence per element, so bit-identical results).
+  if (qTransposed) {
+    const std::size_t qn = q.cols();
+    constexpr std::size_t kChunk = 128;
+    double buf[4][kChunk];
+    for (std::size_t c0 = 0; c0 < qn; c0 += kChunk) {
+      const std::size_t len = std::min(kChunk, qn - c0);
+      for (std::size_t c = 0; c < w; ++c) {
+        for (std::size_t i = 0; i < len; ++i) {
+          double s = 0.0;
+          for (std::size_t k = 0; k < w; ++k)
+            s += q(j + k, c0 + i) * g(k, c);
+          buf[c][i] = s;
+        }
+      }
+      for (std::size_t c = 0; c < w; ++c)
+        for (std::size_t i = 0; i < len; ++i) q(j + c, c0 + i) = buf[c][i];
     }
-    for (std::size_t c = 0; c < w; ++c) q(r, j + c) = tmp[c];
+  } else {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < w; ++k) s += q(r, j + k) * g(k, c);
+        tmp[c] = s;
+      }
+      for (std::size_t c = 0; c < w; ++c) q(r, j + c) = tmp[c];
+    }
   }
 }
 
 // Solve the small Sylvester equation A X - X B = C (A p x p, B q x q,
-// p, q <= 2) by the Kronecker-product linear system. Returns false when the
-// system is numerically singular (the blocks share an eigenvalue and the
-// exchange is ill-posed).
-bool smallSylvester(const Matrix& a, const Matrix& b, const Matrix& c,
-                    Matrix& x) {
-  const std::size_t p = a.rows(), q = b.rows();
-  Matrix k(p * q, p * q);
+// p, q <= 2) by the Kronecker-product linear system, on stack storage
+// (solveSmallDense — a reordering runs tens of thousands of these).
+// Returns false when the system is numerically singular (the blocks share
+// an eigenvalue and the exchange is ill-posed). All operands are w x w
+// row-major scratch arrays of the window (w = p + q <= 4): a at offset
+// (0,0), b at (p,p), c at (0,p) of `win`.
+bool smallSylvester(const double* win, std::size_t w, std::size_t p,
+                    std::size_t q, double* x) {
+  double k[16] = {0.0};
+  double rhs[4];
+  const std::size_t pq = p * q;
   // vec is column-major: x_{i,j} -> index j*p + i.
   for (std::size_t j = 0; j < q; ++j)
     for (std::size_t i = 0; i < p; ++i) {
       const std::size_t row = j * p + i;
-      for (std::size_t l = 0; l < p; ++l) k(row, j * p + l) += a(i, l);
-      for (std::size_t l = 0; l < q; ++l) k(row, l * p + i) -= b(l, j);
+      for (std::size_t l = 0; l < p; ++l)
+        k[row * pq + j * p + l] += win[i * w + l];
+      for (std::size_t l = 0; l < q; ++l)
+        k[row * pq + l * p + i] -= win[(p + l) * w + (p + j)];
+      rhs[row] = win[i * w + (p + j)];
     }
-  Matrix rhs(p * q, 1);
+  if (!solveSmallDense(k, rhs, pq, 1e-13)) return false;
   for (std::size_t j = 0; j < q; ++j)
-    for (std::size_t i = 0; i < p; ++i) rhs(j * p + i, 0) = c(i, j);
-  LU lu(k);
-  if (lu.isSingular(1e-13)) return false;
-  Matrix xv = lu.solve(rhs);
-  x = Matrix(p, q);
-  for (std::size_t j = 0; j < q; ++j)
-    for (std::size_t i = 0; i < p; ++i) x(i, j) = xv(j * p + i, 0);
+    for (std::size_t i = 0; i < p; ++i) x[i * q + j] = rhs[j * p + i];
   return true;
+}
+
+// Full orthogonal factor of the Householder QR of the w x c stack
+// (row-major in `st`, destroyed), written into the w x w row-major `qf`.
+// Reuses the makeReflector convention of householder.hpp.
+void smallFullQ(double* st, std::size_t w, std::size_t c, double* qf) {
+  double vs[2][4], taus[2], xcol[4], beta;
+  for (std::size_t col = 0; col < c; ++col) {
+    const std::size_t len = w - col;
+    for (std::size_t i = 0; i < len; ++i) xcol[i] = st[(col + i) * c + col];
+    taus[col] = makeReflector(xcol, len, vs[col], beta);
+    st[col * c + col] = beta;
+    for (std::size_t i = 1; i < len; ++i) st[(col + i) * c + col] = 0.0;
+    for (std::size_t j = col + 1; j < c; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < len; ++i)
+        acc += vs[col][i] * st[(col + i) * c + j];
+      acc *= taus[col];
+      for (std::size_t i = 0; i < len; ++i)
+        st[(col + i) * c + j] -= acc * vs[col][i];
+    }
+  }
+  for (std::size_t i = 0; i < w * w; ++i) qf[i] = 0.0;
+  for (std::size_t i = 0; i < w; ++i) qf[i * w + i] = 1.0;
+  for (std::size_t col = c; col-- > 0;) {
+    const std::size_t len = w - col;
+    if (taus[col] == 0.0) continue;
+    for (std::size_t j = 0; j < w; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < len; ++i)
+        acc += vs[col][i] * qf[(col + i) * w + j];
+      acc *= taus[col];
+      for (std::size_t i = 0; i < len; ++i)
+        qf[(col + i) * w + j] -= acc * vs[col][i];
+    }
+  }
 }
 
 // Block sizes of a quasi-triangular matrix starting at each block row.
@@ -243,15 +318,20 @@ std::complex<double> blockEigenvalue(const Matrix& t, std::size_t j,
   return {tr2, std::sqrt(-disc)};
 }
 
+// standardize2x2 with the qTransposed layout flag threaded through (the
+// public standardize2x2 is a qTransposed = false wrapper).
+bool standardize2x2Impl(Matrix& t, Matrix& q, std::size_t j,
+                        bool qTransposed);
+
 // Standardize the 2x2 block at (j, j) if one lives there, counting the
 // operation in `report` when it changed the matrix. Returns true when the
 // block was split into two real 1x1 blocks.
 bool standardizeBlockAt(Matrix& t, Matrix& q, std::size_t j,
-                        ReorderReport* report) {
+                        ReorderReport* report, bool qTransposed = false) {
   if (j + 1 >= t.rows() || t(j + 1, j) == 0.0) return false;
   const double a = t(j, j), b = t(j, j + 1);
   const double c = t(j + 1, j), d = t(j + 1, j + 1);
-  const bool split = standardize2x2(t, q, j);
+  const bool split = standardize2x2Impl(t, q, j, qTransposed);
   if (report &&
       (t(j, j) != a || t(j, j + 1) != b || t(j + 1, j) != c ||
        t(j + 1, j + 1) != d))
@@ -269,25 +349,36 @@ void ReorderReport::absorb(const ReorderReport& other) {
   standardizations += other.standardizations;
 }
 
-void standardizeQuasiTriangular(Matrix& t, Matrix& q,
-                                ReorderReport* report) {
+namespace {
+void standardizeQuasiTriangularImpl(Matrix& t, Matrix& q,
+                                    ReorderReport* report,
+                                    bool qTransposed) {
   const std::size_t n = t.rows();
   std::size_t i = 0;
   while (i + 1 < n) {
     if (t(i + 1, i) != 0.0) {
-      standardizeBlockAt(t, q, i, report);
+      standardizeBlockAt(t, q, i, report, qTransposed);
       i += (t(i + 1, i) != 0.0) ? 2 : 1;
     } else {
       ++i;
     }
   }
 }
+}  // namespace
 
-bool standardize2x2(Matrix& t, Matrix& q, std::size_t j) {
+void standardizeQuasiTriangular(Matrix& t, Matrix& q,
+                                ReorderReport* report) {
+  standardizeQuasiTriangularImpl(t, q, report, /*qTransposed=*/false);
+}
+
+namespace {
+bool standardize2x2Impl(Matrix& t, Matrix& q, std::size_t j,
+                        bool qTransposed) {
   const std::size_t n = t.rows();
   if (j + 2 > n) throw std::invalid_argument("standardize2x2: out of range");
   const Lanv2 st = lanv2(t(j, j), t(j, j + 1), t(j + 1, j), t(j + 1, j + 1));
-  if (st.cs != 1.0 || st.sn != 0.0) applyRotation(t, q, j, st.cs, st.sn);
+  if (st.cs != 1.0 || st.sn != 0.0)
+    applyRotation(t, q, j, st.cs, st.sn, qTransposed);
   // Overwrite the block with the exact dlanv2 outputs: the critical
   // entries (equal diagonals, exact zero on a split) must not carry the
   // round-off of the full-row/column update.
@@ -297,9 +388,16 @@ bool standardize2x2(Matrix& t, Matrix& q, std::size_t j) {
   t(j + 1, j + 1) = st.d;
   return st.c == 0.0;
 }
+}  // namespace
 
-bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
-                        std::size_t qsz, ReorderReport* report) {
+bool standardize2x2(Matrix& t, Matrix& q, std::size_t j) {
+  return standardize2x2Impl(t, q, j, /*qTransposed=*/false);
+}
+
+namespace {
+bool swapAdjacentBlocksImpl(Matrix& t, Matrix& q, std::size_t j,
+                            std::size_t p, std::size_t qsz,
+                            ReorderReport* report, bool qTransposed) {
   const std::size_t n = t.rows();
   const std::size_t w = p + qsz;
   if (p == 0 || p > 2 || qsz == 0 || qsz > 2 || j + w > n)
@@ -317,7 +415,7 @@ bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
     const double t11 = t(j, j), t22 = t(j + 1, j + 1);
     double cs, sn;
     givens(t(j, j + 1), t22 - t11, cs, sn);
-    applyRotation(t, q, j, cs, sn);
+    applyRotation(t, q, j, cs, sn, qTransposed);
     t(j, j) = t22;
     t(j + 1, j + 1) = t11;
     t(j + 1, j) = 0.0;
@@ -327,37 +425,58 @@ bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
 
   // General case (a 2x2 block involved): local Sylvester solve + QR, with
   // the transformation rehearsed on a window copy so a numerically bad
-  // exchange can be rejected before touching t.
-  const Matrix a11 = t.block(j, j, p, p);
-  const Matrix a12 = t.block(j, j + p, p, qsz);
-  const Matrix a22 = t.block(j + p, j + p, qsz, qsz);
+  // exchange can be rejected before touching t. Everything up to the
+  // accept decision runs on stack scratch (w <= 4): a reordering
+  // rehearses tens of thousands of windows, and the historical
+  // Matrix/LU/QR small-object churn dominated its runtime.
+  double win[16];
+  for (std::size_t r = 0; r < w; ++r)
+    for (std::size_t c = 0; c < w; ++c) win[r * w + c] = t(j + r, j + c);
 
   // Solve A11 X - X A22 = A12; then the columns of [-X; I] span the
   // invariant subspace of [A11 A12; 0 A22] belonging to A22's eigenvalues.
-  Matrix x;
-  if (!smallSylvester(a11, a22, a12, x)) {
+  double x[4];
+  if (!smallSylvester(win, w, p, qsz, x)) {
     if (report) ++report->rejectedSwaps;
     return false;
   }
-  Matrix stack(w, qsz);
-  stack.setBlock(0, 0, -1.0 * x);
-  stack.setBlock(p, 0, Matrix::identity(qsz));
-  QR qr(stack);
-  const Matrix g = qr.fullQ();  // w x w; leading qsz cols span the subspace
+  double stack[8];
+  for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t c = 0; c < qsz; ++c) stack[r * qsz + c] = -x[r * qsz + c];
+  for (std::size_t r = 0; r < qsz; ++r)
+    for (std::size_t c = 0; c < qsz; ++c)
+      stack[(p + r) * qsz + c] = (r == c) ? 1.0 : 0.0;
+  double gf[16];  // w x w; leading qsz cols span the subspace
+  smallFullQ(stack, w, qsz, gf);
 
   // Rehearse on the window: the lower-left qsz columns of G^T W G must
   // vanish; their largest survivor is the backward error the swap would
   // commit. Reject when it exceeds a small multiple of eps * ||window||
   // (dlaexc's acceptance threshold).
-  const Matrix window = t.block(j, j, w, w);
-  const Matrix rehearsed =
-      multiply(multiply(g, true, window, false), false, g, false);
+  double gw[16], reh[16];
+  for (std::size_t r = 0; r < w; ++r)
+    for (std::size_t c = 0; c < w; ++c) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < w; ++kk)
+        acc += gf[kk * w + r] * win[kk * w + c];
+      gw[r * w + c] = acc;
+    }
+  for (std::size_t r = 0; r < w; ++r)
+    for (std::size_t c = 0; c < w; ++c) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < w; ++kk)
+        acc += gw[r * w + kk] * gf[kk * w + c];
+      reh[r * w + c] = acc;
+    }
   double residual = 0.0;
   for (std::size_t r = qsz; r < w; ++r)
     for (std::size_t c = 0; c < qsz; ++c)
-      residual = std::max(residual, std::abs(rehearsed(r, c)));
+      residual = std::max(residual, std::abs(reh[r * w + c]));
+  double winMax = 0.0;
+  for (std::size_t i = 0; i < w * w; ++i)
+    winMax = std::max(winMax, std::abs(win[i]));
   const double smlnum = std::numeric_limits<double>::min() / eps;
-  const double thresh = std::max(10.0 * eps * window.maxAbs(), smlnum);
+  const double thresh = std::max(10.0 * eps * winMax, smlnum);
   if (residual > thresh) {
     // The window-local threshold (dlaexc's choice) is too strict when the
     // window entries are small relative to the full matrix: upstream
@@ -377,7 +496,10 @@ bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
   // Accepted: apply the similarity in place, restricted to the
   // quasi-triangular profile (see applyWindowSimilarity), and accumulate
   // into q.
-  applyWindowSimilarity(t, q, g, j);
+  Matrix g(w, w);
+  for (std::size_t r = 0; r < w; ++r)
+    for (std::size_t c = 0; c < w; ++c) g(r, c) = gf[r * w + c];
+  applyWindowSimilarity(t, q, g, j, qTransposed);
 
   // Zero the decoupled lower-left block (its content — the residual — was
   // certified negligible above).
@@ -387,8 +509,8 @@ bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
   // Re-standardize the swapped blocks (a swap can leave a 2x2 block with
   // unequal diagonals, or push a near-degenerate pair onto the real axis,
   // in which case it is split into two 1x1 blocks).
-  if (qsz == 2) standardizeBlockAt(t, q, j, report);
-  if (p == 2) standardizeBlockAt(t, q, j + qsz, report);
+  if (qsz == 2) standardizeBlockAt(t, q, j, report, qTransposed);
+  if (p == 2) standardizeBlockAt(t, q, j + qsz, report, qTransposed);
 
   if (report) {
     ++report->swaps;
@@ -409,6 +531,13 @@ bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
   }
   return true;
 }
+}  // namespace
+
+bool swapAdjacentBlocks(Matrix& t, Matrix& q, std::size_t j, std::size_t p,
+                        std::size_t qsz, ReorderReport* report) {
+  return swapAdjacentBlocksImpl(t, q, j, p, qsz, report,
+                                /*qTransposed=*/false);
+}
 
 std::size_t reorderSchur(Matrix& t, Matrix& q,
                          const EigenvalueSelector& select,
@@ -425,10 +554,18 @@ std::size_t reorderSchur(Matrix& t, Matrix& q,
   // that make adjacent 2x2 blocks overlap.
   repairQuasiTriangularStructure(t);
 
+  // The whole reordering works on Q^T: thousands of swaps each rotate a
+  // PAIR of Q columns, and in the transposed layout those become
+  // contiguous row sweeps instead of stride-n column walks. Every update
+  // performs the identical per-element arithmetic (see applyRotation), so
+  // the result is bit-identical to the untransposed formulation; only the
+  // two O(n^2) transposes here are extra.
+  Matrix qt = q.transposed();
+
   // Standardization pass: every 2x2 block is brought to standard form, and
   // fused blocks whose eigenvalues are actually real are split into 1x1
   // blocks so the selector classifies each half independently.
-  standardizeQuasiTriangular(t, q, &rep);
+  standardizeQuasiTriangularImpl(t, qt, &rep, /*qTransposed=*/true);
 
   // Bubble selected blocks to the top. `target` is the row where the next
   // selected block should land; everything above it is finalized. One scan
@@ -463,8 +600,8 @@ std::size_t reorderSchur(Matrix& t, Matrix& q,
       while (starts[cur] > target) {
         const std::size_t szAbove = sizes[cur - 1];
         const std::size_t szMove = sizes[cur];
-        if (!swapAdjacentBlocks(t, q, starts[cur - 1], szAbove, szMove,
-                                &rep))
+        if (!swapAdjacentBlocksImpl(t, qt, starts[cur - 1], szAbove,
+                                    szMove, &rep, /*qTransposed=*/true))
           break;
         const std::size_t newPos = starts[cur - 1];
         const bool movedSplit =
@@ -484,6 +621,7 @@ std::size_t reorderSchur(Matrix& t, Matrix& q,
       if (!rescan && starts[cur] == target) target += sizes[cur];
     }
   }
+  q = qt.transposed();
   return target;
 }
 

@@ -282,7 +282,8 @@ void gkSvd(const Matrix& aIn, std::vector<double>& sv, Matrix& u, Matrix& v) {
 // gkSvd's loop; only the factor indexing differs.
 void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
                                      std::vector<double>& e, Matrix& ut,
-                                     Matrix& vt) {
+                                     Matrix& vt,
+                                     bool withVectors = true) {
   double* s = sv.data();
   const int n = static_cast<int>(sv.size());
   const int m = static_cast<int>(ut.cols());
@@ -338,12 +339,14 @@ void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
             f = -sn * e[j - 1];
             e[j - 1] = cs * e[j - 1];
           }
-          double* vj = &vt(j, 0);
-          double* vq = &vt(p - 1, 0);
-          for (int i = 0; i < n; ++i) {
-            t = cs * vj[i] + sn * vq[i];
-            vq[i] = -sn * vj[i] + cs * vq[i];
-            vj[i] = t;
+          if (withVectors) {
+            double* vj = &vt(j, 0);
+            double* vq = &vt(p - 1, 0);
+            for (int i = 0; i < n; ++i) {
+              t = cs * vj[i] + sn * vq[i];
+              vq[i] = -sn * vj[i] + cs * vq[i];
+              vj[i] = t;
+            }
           }
         }
         break;
@@ -358,12 +361,14 @@ void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
           s[j] = t;
           f = -sn * e[j];
           e[j] = cs * e[j];
-          double* uj = &ut(j, 0);
-          double* uq = &ut(k - 1, 0);
-          for (int i = 0; i < m; ++i) {
-            t = cs * uj[i] + sn * uq[i];
-            uq[i] = -sn * uj[i] + cs * uq[i];
-            uj[i] = t;
+          if (withVectors) {
+            double* uj = &ut(j, 0);
+            double* uq = &ut(k - 1, 0);
+            for (int i = 0; i < m; ++i) {
+              t = cs * uj[i] + sn * uq[i];
+              uq[i] = -sn * uj[i] + cs * uq[i];
+              uj[i] = t;
+            }
           }
         }
         break;
@@ -396,7 +401,7 @@ void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
           e[j] = cs * e[j] - sn * s[j];
           g = sn * s[j + 1];
           s[j + 1] = cs * s[j + 1];
-          {
+          if (withVectors) {
             double* vj = &vt(j, 0);
             double* vq = &vt(j + 1, 0);
             for (int i = 0; i < n; ++i) {
@@ -413,7 +418,7 @@ void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
           s[j + 1] = -sn * e[j] + cs * s[j + 1];
           g = sn * e[j + 1];
           e[j + 1] = cs * e[j + 1];
-          if (j < m - 1) {
+          if (withVectors && j < m - 1) {
             double* uj = &ut(j, 0);
             double* uq = &ut(j + 1, 0);
             for (int i = 0; i < m; ++i) {
@@ -431,15 +436,17 @@ void diagonalizeBidiagonalTransposed(std::vector<double>& sv,
       case 4: {  // Convergence.
         if (s[k] <= 0.0) {
           s[k] = (s[k] < 0.0 ? -s[k] : 0.0);
-          double* vk = &vt(k, 0);
-          for (int i = 0; i <= pp; ++i) vk[i] = -vk[i];
+          if (withVectors) {
+            double* vk = &vt(k, 0);
+            for (int i = 0; i <= pp; ++i) vk[i] = -vk[i];
+          }
         }
         while (k < pp) {
           if (s[k] >= s[k + 1]) break;
           std::swap(s[k], s[k + 1]);
-          if (k < n - 1)
+          if (withVectors && k < n - 1)
             std::swap_ranges(&vt(k, 0), &vt(k, 0) + n, &vt(k + 1, 0));
-          if (k < m - 1)
+          if (withVectors && k < m - 1)
             std::swap_ranges(&ut(k, 0), &ut(k, 0) + m, &ut(k + 1, 0));
           ++k;
         }
@@ -597,7 +604,7 @@ void bidiagonalizePanel(Matrix& w, std::size_t k, std::size_t nb, Matrix& x,
 // bidiagonal core. Same output contract as gkSvd (thin U, full V, s
 // descending); the two agree to backward-stable roundoff, not bitwise.
 void gkSvdBlocked(const Matrix& aIn, std::vector<double>& sv, Matrix& u,
-                  Matrix& v) {
+                  Matrix& v, bool wantVectors = true) {
   Matrix w = aIn;
   const std::size_t m = w.rows();
   const std::size_t n = w.cols();
@@ -633,6 +640,19 @@ void gkSvdBlocked(const Matrix& aIn, std::vector<double>& sv, Matrix& u,
     bidiagonalizePanel(w, k, nb, x, y, d.data(), e.data(), tauq.data(),
                        taup.data());
     panels.push_back({k, nb});
+  }
+
+  if (!wantVectors) {
+    // Values-only mode: skip the compact-WY factor accumulation and run
+    // the rotation sweep without factor updates. The rotation sequence
+    // (and therefore every singular value) is bit-identical to the
+    // with-vectors run: the shifts and Givens coefficients only ever
+    // read the bidiagonal s/e arrays.
+    sv = d;
+    e[n - 1] = 0.0;
+    Matrix ut, vt;
+    diagonalizeBidiagonalTransposed(sv, e, ut, vt, /*withVectors=*/false);
+    return;
   }
 
   // Accumulate thin U = H_0 ... H_{nct-1} * I(m x n), panel by panel in
@@ -737,7 +757,13 @@ SVD::SVD(const Matrix& a, SvdKernel kernel) : m_(a.rows()), n_(a.cols()) {
       blocked = mn >= kSvdCrossover;
       break;
   }
-  const auto run = blocked ? gkSvdBlocked : gkSvd;
+  const auto run = [blocked](const Matrix& in, std::vector<double>& sv,
+                             Matrix& uu, Matrix& vv) {
+    if (blocked)
+      gkSvdBlocked(in, sv, uu, vv);
+    else
+      gkSvd(in, sv, uu, vv);
+  };
   if (m_ >= n_) {
     run(a, s_, u_, v_);
   } else {
@@ -811,6 +837,20 @@ double SVD::cond() const {
   const double smin = s_[k - 1];
   if (smin == 0.0) return std::numeric_limits<double>::infinity();
   return s_.front() / smin;
+}
+
+std::vector<double> singularValues(const Matrix& a) {
+  if (a.empty()) return {};
+  const std::size_t mn = std::min(a.rows(), a.cols());
+  if (mn < kSvdCrossover || mn < 3)
+    return SVD(a).singularValues();  // small: factor cost is negligible
+  std::vector<double> sv;
+  Matrix u, v;
+  if (a.rows() >= a.cols())
+    gkSvdBlocked(a, sv, u, v, /*wantVectors=*/false);
+  else
+    gkSvdBlocked(a.transposed(), sv, u, v, /*wantVectors=*/false);
+  return sv;
 }
 
 std::size_t rank(const Matrix& a, double tol) { return SVD(a).rank(tol); }

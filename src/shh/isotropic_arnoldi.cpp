@@ -1,5 +1,6 @@
 #include "shh/isotropic_arnoldi.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -10,61 +11,146 @@ using linalg::Matrix;
 
 namespace {
 
-// Apply the symplectic Householder U = diag(P, P), P = I - beta v v^T acting
-// on index range [k0, n) of each half, as a similarity W <- U^T W U, and
-// accumulate Z <- Z U. v is indexed from k0 (v[0] corresponds to row k0).
+// The reduction below exploits the structure the symplectic similarity
+// preserves, cutting roughly a third of the dense work:
+//
+//   * W stays skew-Hamiltonian throughout, so its bottom-right block is
+//     W22 = W11^T at every step. The kernels therefore never maintain
+//     W22 in memory: the Householder passes skip its rows/columns
+//     outright (nothing ever reads them), and the one transform that
+//     genuinely couples the halves — the symplectic Givens — reads the
+//     W22 values it needs through the invariant (snapshots of the
+//     pre-rotation W11 row/column). The final scrub rebuilds W22 from
+//     W11^T exactly as before.
+//   * Z stays orthogonal symplectic, i.e. Z = [A B; -B A]: its bottom
+//     half is an exact (bitwise — negation and mirrored updates commute
+//     with rounding) mirror of the top half, so only rows 0..n-1 are
+//     accumulated and the driver reconstructs the rest once at the end.
+
+// Apply the symplectic Householder U = diag(P, P), P = I - beta v v^T
+// acting on index range [k0, n) of each half, as a similarity
+// W <- U^T W U, and accumulate the TOP HALF of Z <- Z U. v is indexed
+// from k0 (v[0] corresponds to row k0). W22 rows/columns are skipped:
+// diag(P, P) never mixes the halves, so the skipped entries feed nothing
+// that is maintained. The accumulate/update loops run row-by-row so
+// memory is streamed along the row-major rows; each s[j] still sums
+// v[i] * w(row_i, j) over ascending i, bit-identical to a
+// column-by-column formulation.
 void applySymplecticHouseholder(Matrix& w, Matrix& z, std::size_t n,
                                 std::size_t k0, const std::vector<double>& v,
                                 double beta) {
   if (beta == 0.0) return;
   const std::size_t n2 = 2 * n;
   const std::size_t len = v.size();
-  // Rows: for each half offset in {0, n}, rows k0+off .. k0+len-1+off.
-  for (std::size_t off : {std::size_t{0}, n}) {
-    for (std::size_t j = 0; j < n2; ++j) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < len; ++i) s += v[i] * w(off + k0 + i, j);
-      s *= beta;
-      for (std::size_t i = 0; i < len; ++i) w(off + k0 + i, j) -= s * v[i];
+  std::vector<double> s(n2);
+  // Rows of the top half (full width: W11 and W12 are both maintained).
+  {
+    std::fill(s.begin(), s.end(), 0.0);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double vi = v[i];
+      const double* row = &w(k0 + i, 0);
+      for (std::size_t j = 0; j < n2; ++j) s[j] += vi * row[j];
+    }
+    for (std::size_t j = 0; j < n2; ++j) s[j] *= beta;
+    for (std::size_t i = 0; i < len; ++i) {
+      const double vi = v[i];
+      double* row = &w(k0 + i, 0);
+      for (std::size_t j = 0; j < n2; ++j) row[j] -= s[j] * vi;
     }
   }
-  // Columns of W and of Z.
-  for (std::size_t off : {std::size_t{0}, n}) {
-    for (std::size_t i = 0; i < n2; ++i) {
-      double s = 0.0;
-      for (std::size_t jj = 0; jj < len; ++jj) s += v[jj] * w(i, off + k0 + jj);
-      s *= beta;
-      for (std::size_t jj = 0; jj < len; ++jj) w(i, off + k0 + jj) -= s * v[jj];
+  // Rows of the bottom half, left columns only (W21; the W22 part is not
+  // maintained).
+  {
+    std::fill(s.begin(), s.begin() + n, 0.0);
+    for (std::size_t i = 0; i < len; ++i) {
+      const double vi = v[i];
+      const double* row = &w(n + k0 + i, 0);
+      for (std::size_t j = 0; j < n; ++j) s[j] += vi * row[j];
     }
-    for (std::size_t i = 0; i < n2; ++i) {
-      double s = 0.0;
-      for (std::size_t jj = 0; jj < len; ++jj) s += v[jj] * z(i, off + k0 + jj);
-      s *= beta;
-      for (std::size_t jj = 0; jj < len; ++jj) z(i, off + k0 + jj) -= s * v[jj];
+    for (std::size_t j = 0; j < n; ++j) s[j] *= beta;
+    for (std::size_t i = 0; i < len; ++i) {
+      const double vi = v[i];
+      double* row = &w(n + k0 + i, 0);
+      for (std::size_t j = 0; j < n; ++j) row[j] -= s[j] * vi;
+    }
+  }
+  // Columns: left-half columns over all rows (W11 and W21), right-half
+  // columns over the top rows only (W12; the W22 part is not maintained).
+  for (std::size_t i = 0; i < n2; ++i) {
+    double acc = 0.0;
+    for (std::size_t jj = 0; jj < len; ++jj) acc += v[jj] * w(i, k0 + jj);
+    acc *= beta;
+    for (std::size_t jj = 0; jj < len; ++jj) w(i, k0 + jj) -= acc * v[jj];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t jj = 0; jj < len; ++jj) acc += v[jj] * w(i, n + k0 + jj);
+    acc *= beta;
+    for (std::size_t jj = 0; jj < len; ++jj) w(i, n + k0 + jj) -= acc * v[jj];
+  }
+  // Z accumulation, top rows only (both half column ranges).
+  for (std::size_t off : {std::size_t{0}, n}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t jj = 0; jj < len; ++jj)
+        acc += v[jj] * z(i, off + k0 + jj);
+      acc *= beta;
+      for (std::size_t jj = 0; jj < len; ++jj)
+        z(i, off + k0 + jj) -= acc * v[jj];
     }
   }
 }
 
 // Apply the symplectic Givens rotation in the (i, n+i) plane as a
-// similarity W <- G^T W G and accumulate Z <- Z G, where
-// G mixes coordinates i and n+i: [c s; -s c].
+// similarity W <- G^T W G and accumulate the top half of Z <- Z G, where
+// G mixes coordinates i and n+i: [c s; -s c]. This is the one transform
+// that couples the halves, so the W22 values it consumes are read
+// through the skew-Hamiltonian invariant W22 = W11^T (snapshots of the
+// pre-rotation row/column i of W11).
 void applySymplecticGivens(Matrix& w, Matrix& z, std::size_t n, std::size_t i,
                            double cc, double ss) {
-  const std::size_t n2 = 2 * n;
   const std::size_t r1 = i, r2 = n + i;
-  // Rows: G^T from the left.
-  for (std::size_t j = 0; j < n2; ++j) {
+  // Pre-rotation snapshots of W11 row i and column i (the W22 surrogate
+  // values the two passes below need), and of the (i, i) corner pair.
+  std::vector<double> w11RowI(n), w11ColI(n);
+  for (std::size_t k = 0; k < n; ++k) w11RowI[k] = w(r1, k);
+  for (std::size_t k = 0; k < n; ++k) w11ColI[k] = w(k, r1);
+  const double w12ii = w(r1, r2);
+
+  // Rows: G^T from the left. Left-half columns update both rows (W11 row
+  // i and W21 row i); right-half columns update only the top row (W12;
+  // the W22 row is not maintained), reading W22(i, c) = W11(c, i) from
+  // the snapshot.
+  for (std::size_t j = 0; j < n; ++j) {
     const double a = w(r1, j), b = w(r2, j);
     w(r1, j) = cc * a + ss * b;
     w(r2, j) = -ss * a + cc * b;
   }
-  // Columns: G from the right.
-  for (std::size_t k = 0; k < n2; ++k) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double a = w(r1, n + j), b = w11ColI[j];
+    w(r1, n + j) = cc * a + ss * b;
+  }
+
+  // Columns: G from the right. Top rows update both columns (W11 col i
+  // and W12 col i). Bottom rows update only the left column (W21; the
+  // W22 column is not maintained), reading the post-row-pass
+  // W22(k, i): untouched by the row pass for k != i, so it equals the
+  // pre-rotation W11(i, k); for k == i it is the row-pass output
+  // -ss * W12(i,i) + cc * W11(i,i).
+  for (std::size_t k = 0; k < n; ++k) {
     const double a = w(k, r1), b = w(k, r2);
     w(k, r1) = cc * a + ss * b;
     w(k, r2) = -ss * a + cc * b;
   }
-  for (std::size_t k = 0; k < z.rows(); ++k) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double a = w(n + k, r1);
+    const double b = (k == i) ? (-ss * w12ii + cc * w11RowI[i])
+                              : w11RowI[k];
+    w(n + k, r1) = cc * a + ss * b;
+  }
+
+  // Z accumulation, top rows only.
+  for (std::size_t k = 0; k < n; ++k) {
     const double a = z(k, r1), b = z(k, r2);
     z(k, r1) = cc * a + ss * b;
     z(k, r2) = -ss * a + cc * b;
@@ -146,6 +232,15 @@ SkewHamiltonianTriangularization skewHamiltonianBlockTriangularize(
       applySymplecticHouseholder(w, z, n, j + 1, v, beta);
     }
   }
+
+  // Reconstruct the unmaintained halves. Z is orthogonal symplectic,
+  // Z = [A B; -B A]: the bottom rows are exact mirrors of the top rows
+  // (the accumulation above only ever touched rows 0..n-1).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t jj = 0; jj < n; ++jj) {
+      z(n + i, jj) = -z(i, n + jj);
+      z(n + i, n + jj) = z(i, jj);
+    }
 
   // Scrub structural zeros: lower-left block and sub-Hessenberg entries of
   // the top-left block; enforce W22 = W11^T and skew-symmetry of Theta.

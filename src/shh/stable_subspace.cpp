@@ -13,6 +13,7 @@ HamiltonianDecoupling decoupleHamiltonian(const Matrix& h, double imagTol) {
   HamiltonianDecoupling out;
   control::StableSubspace ss = control::stableInvariantSubspace(h, imagTol);
   out.reorder = ss.reorder;
+  out.schur = ss.schur;
   if (!ss.ok) return out;
   const std::size_t np = ss.x1.rows();
   if (np == 0) {
@@ -30,6 +31,17 @@ HamiltonianDecoupling decoupleHamiltonian(const Matrix& h, double imagTol) {
   Matrix z1 = lagrangianCompletion(ss.x1, ss.x2);
   Matrix t1 = linalg::multiply(linalg::atb(z1, h), false, z1, false);
   out.lambda = t1.block(0, 0, np, np);
+  // In exact arithmetic this block IS the reordered Schur factor
+  // ss.lambda; the congruence product only adds roundoff below its
+  // quasi-diagonal (the same roundoff the block extraction already
+  // discards in the lower-left quarter of t1). Inherit the exact
+  // sparsity pattern so downstream block logic — the Lyapunov solver's
+  // quasi-triangular fast path, the PR test's block scans — sees a true
+  // quasi-triangular matrix.
+  for (std::size_t i = 0; i < np; ++i)
+    for (std::size_t jj = 0; jj + 1 < i; ++jj) out.lambda(i, jj) = 0.0;
+  for (std::size_t i = 0; i + 1 < np; ++i)
+    if (ss.lambda(i + 1, i) == 0.0) out.lambda(i + 1, i) = 0.0;
   Matrix ahat = t1.block(0, np, np, np);
   // Decouple: Lambda Y + Y Lambda^T + Ahat = 0; Z2 = Z1 [I Y; 0 I].
   out.y = control::solveLyapunov(out.lambda, ahat);

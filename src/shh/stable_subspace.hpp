@@ -5,6 +5,7 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/schur_multishift.hpp"
 #include "linalg/schur_reorder.hpp"
 
 namespace shhpass::shh {
@@ -20,6 +21,8 @@ struct HamiltonianDecoupling {
   linalg::Matrix y;       ///< Lyapunov solution used in the decoupling.
   /// Reordering health of the underlying Eq.-(22) Schur split.
   linalg::ReorderReport reorder;
+  /// Health of the real Schur factorization behind that split.
+  linalg::SchurReport schur;
 };
 
 /// Decouple a Hamiltonian matrix H (2np x 2np). `imagTol` is passed to the

@@ -3,9 +3,11 @@
 // (error paths, JSON reports), and batch/sequential agreement.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "api/shhpass.hpp"
+#include "linalg/schur_multishift.hpp"
 #include "test_support.hpp"
 
 namespace shhpass::api {
@@ -45,11 +47,36 @@ TEST(ApiStatus, EveryFailureStageMapsToADistinctCode) {
 }
 
 TEST(ApiStatus, OperationalErrorsAreNotVerdictsAndHaveNoStage) {
-  for (ErrorCode code : {ErrorCode::InvalidArgument,
-                         ErrorCode::NumericalFailure, ErrorCode::Internal}) {
+  for (ErrorCode code :
+       {ErrorCode::InvalidArgument, ErrorCode::NumericalFailure,
+        ErrorCode::SchurNoConvergence, ErrorCode::Internal}) {
     EXPECT_FALSE(isVerdictCode(code));
     EXPECT_FALSE(failureStageFromErrorCode(code).has_value());
   }
+}
+
+TEST(ApiStatus, SchurNonConvergenceMapsToTypedCode) {
+  // The 30-iteration non-convergence throw of the QR eigensolvers is a
+  // typed exception since the multishift PR; the exception translator
+  // must map it to SCHUR_NO_CONVERGENCE, not swallow it into the generic
+  // runtime_error -> NUMERICAL_FAILURE bucket.
+  Status st;
+  try {
+    throw linalg::SchurConvergenceError("iteration budget exhausted");
+  } catch (...) {
+    st = statusFromCurrentException();
+  }
+  EXPECT_EQ(st.code(), ErrorCode::SchurNoConvergence);
+  EXPECT_STREQ(errorCodeName(st.code()), "SCHUR_NO_CONVERGENCE");
+  EXPECT_EQ(st.toString(),
+            "SCHUR_NO_CONVERGENCE: iteration budget exhausted");
+  // Plain runtime errors still map to NUMERICAL_FAILURE.
+  try {
+    throw std::runtime_error("some other kernel breakdown");
+  } catch (...) {
+    st = statusFromCurrentException();
+  }
+  EXPECT_EQ(st.code(), ErrorCode::NumericalFailure);
 }
 
 TEST(ApiStatus, StatusBasics) {

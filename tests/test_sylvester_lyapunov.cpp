@@ -74,6 +74,33 @@ TEST(Sylvester, EmptyDimensions) {
   EXPECT_TRUE(x.empty());
 }
 
+TEST(Lyapunov, QuasiTriangularFastPathsMatchGeneralSolver) {
+  // Coefficients that are a real Schur factor (or the transpose of one)
+  // take the back-substitution-only fast paths; the solutions must agree
+  // with the general Bartels-Stewart path to solver accuracy.
+  Matrix a = randomStable(12, 230);
+  linalg::RealSchurResult rs = linalg::realSchur(a);
+  Matrix q = randomSymmetric(12, 231);
+  ASSERT_TRUE(isQuasiTriangular(rs.t));
+  ASSERT_FALSE(isQuasiTriangular(Matrix(rs.t.transposed())));
+  const double scale = std::max(1.0, q.maxAbs());
+  // Upper orientation: S Y + Y S^T + Q = 0.
+  Matrix yUpper = solveLyapunov(rs.t, q);
+  expectMatrixNear(rs.t * yUpper + linalg::abt(yUpper, rs.t) + q,
+                   Matrix(12, 12), 1e-9 * scale);
+  // Lower orientation (the observability-Gramian shape):
+  // S^T Y + Y S + Q = 0.
+  Matrix st = rs.t.transposed();
+  Matrix yLower = solveLyapunov(st, q);
+  expectMatrixNear(st * yLower + yLower * rs.t + q, Matrix(12, 12),
+                   1e-9 * scale);
+  // Both agree with the general solver run on the same equations.
+  expectMatrixNear(yUpper, solveSylvester(rs.t, st, -1.0 * q),
+                   1e-8 * std::max(1.0, yUpper.maxAbs()));
+  expectMatrixNear(yLower, solveSylvester(st, rs.t, -1.0 * q),
+                   1e-8 * std::max(1.0, yLower.maxAbs()));
+}
+
 TEST(Lyapunov, ResidualAndSymmetry) {
   Matrix a = randomStable(9, 211);
   Matrix q = randomSymmetric(9, 212);

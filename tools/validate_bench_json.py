@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Validate a BENCH_pipeline.json file against the documented schema.
 
-Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 2: version 1
-plus the svd kernel rows). Stdlib only — CI runs this after the bench
-smoke job with no pip installs.
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 3: version 2
+plus the schur kernel rows and the per-pipeline-row schur eigensolver
+health object). Stdlib only — CI runs this after the bench smoke job
+with no pip installs.
 
 Usage: validate_bench_json.py PATH [--expect-order N]...
 Exit status 0 when the file conforms, 1 with a diagnostic otherwise.
@@ -63,7 +64,7 @@ def main():
 
     require(doc.get("schema") == "shhpass-bench-pipeline",
             f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
-    require(doc.get("schemaVersion") == 2,
+    require(doc.get("schemaVersion") == 3,
             f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
     require(doc.get("timeUnit") == "seconds",
             f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
@@ -105,6 +106,13 @@ def main():
         require(isinstance(reorder, dict), f"{ctx}: missing 'reorder' object")
         for key in ("swaps", "rejectedSwaps", "maxResidual", "eigenvalueDrift"):
             check_number(reorder, key, f"{ctx}.reorder", minimum=0)
+        schur = row.get("schur")
+        require(isinstance(schur, dict), f"{ctx}: missing 'schur' object")
+        require(isinstance(schur.get("multishift"), bool),
+                f"{ctx}.schur: 'multishift' must be a bool")
+        for key in ("sweeps", "aedWindows", "aedDeflations", "shiftsApplied",
+                    "iterations"):
+            check_number(schur, key, f"{ctx}.schur", minimum=0)
 
     for order in args.expect_order:
         require(order in seen_orders,
@@ -129,6 +137,8 @@ def main():
             f"kernels must cover gemm reference+blocked, got {variants}")
     require({"unblocked", "blocked"} <= variants.get("svd", set()),
             f"kernels must cover svd unblocked+blocked, got {variants}")
+    require({"unblocked", "multishift"} <= variants.get("schur", set()),
+            f"kernels must cover schur unblocked+multishift, got {variants}")
 
     print(f"validate_bench_json: OK: {args.path} "
           f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows)")
