@@ -8,8 +8,6 @@
 // binary is for interactive kernel iteration.)
 #include <benchmark/benchmark.h>
 
-#include <random>
-
 #include "bench_support.hpp"
 #include "circuits/generators.hpp"
 #include "core/impulse_deflation.hpp"
@@ -27,12 +25,9 @@ using namespace shhpass;
 using linalg::Matrix;
 
 Matrix randomMatrix(std::size_t n, unsigned seed) {
-  std::mt19937 gen(seed);
-  std::uniform_real_distribution<double> dist(-1.0, 1.0);
-  Matrix m(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) m(i, j) = dist(gen);
-  return m;
+  // The pinned xorshift64* stream of bench_support.hpp — std
+  // distributions are banned tree-wide (tools/lint_invariants.py).
+  return bench::seededMatrix(n, n, seed);
 }
 
 Matrix randomSkewHamiltonian(std::size_t half, unsigned seed) {

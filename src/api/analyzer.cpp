@@ -111,6 +111,7 @@ PassivityAnalyzer::PassivityAnalyzer(AnalyzerOptions options)
     : options_(std::move(options)) {}
 
 void PassivityAnalyzer::setStageObserver(Pipeline::Observer observer) {
+  std::lock_guard<std::mutex> lock(observerMu_);
   observer_ = std::move(observer);
 }
 
@@ -166,9 +167,14 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   AnalysisReport report;
   report.id = id;
 
-  const Status status =
-      pipeline.run(state, &report.stages,
-                   notifyObserver ? observer_ : Pipeline::Observer());
+  // Snapshot the observer once per analysis under its lock; the copy
+  // keeps notifying even if setStageObserver swaps the slot mid-run.
+  Pipeline::Observer observer;
+  if (notifyObserver) {
+    std::lock_guard<std::mutex> lock(observerMu_);
+    observer = observer_;
+  }
+  const Status status = pipeline.run(state, &report.stages, observer);
   if (!status.ok() && !isVerdictCode(status.code()))
     return Result<AnalysisReport>(status);
 

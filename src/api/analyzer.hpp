@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -99,6 +100,13 @@ class PassivityAnalyzer {
   /// Per-stage diagnostic hook, invoked after each stage of single-shot
   /// analyze() calls (NOT during runBatch, where reports carry the same
   /// traces without cross-thread observer reentrancy).
+  ///
+  /// Thread-safe: may be called while analyze() runs on other threads —
+  /// the observer slot is mutex-guarded and each analysis snapshots it
+  /// once at entry (in-flight analyses keep notifying the observer they
+  /// started with). Regression note: before PR 6 the slot was a bare
+  /// std::function read concurrently with the setter — a data race
+  /// ThreadSanitizer flags on the test_thread_pool_stress observer test.
   void setStageObserver(Pipeline::Observer observer);
 
   /// Analyze one system with the analyzer-default options.
@@ -120,6 +128,7 @@ class PassivityAnalyzer {
                                      bool notifyObserver) const;
 
   AnalyzerOptions options_;
+  mutable std::mutex observerMu_;  ///< Guards observer_ (set vs snapshot).
   Pipeline::Observer observer_;
 };
 

@@ -81,7 +81,16 @@ class Pipeline {
   /// Run the stages on `state`. Exceptions escaping a stage are translated
   /// to operational-error Statuses (no exceptions cross this boundary).
   /// Each completed stage is appended to `traces` (if non-null) and handed
-  /// to `observer` (if set). Returns:
+  /// to `observer` (if set).
+  ///
+  /// Observer threading contract: the observer is invoked synchronously on
+  /// the thread calling run(), once per completed stage, never after run()
+  /// returns. The analyzer snapshots its installed observer under a mutex
+  /// before each analysis (see PassivityAnalyzer::setStageObserver), so
+  /// swapping observers concurrently with a running analysis is safe; a
+  /// callable shared across concurrent analyses must itself be
+  /// thread-safe, because two run() calls may invoke it concurrently.
+  /// Returns:
   ///   * ok       — all stages passed; state.result.passive == true;
   ///   * verdict  — a stage declared non-passivity; state.result.failure
   ///                names the stage;

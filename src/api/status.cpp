@@ -99,6 +99,10 @@ std::string Status::toString() const {
   return s;
 }
 
+// This function is the ONE sanctioned exception-handling site in
+// src/api: everything else is Status/Result based, and `throw` anywhere
+// else in src/api fails the no-throw-in-api rule of
+// tools/lint_invariants.py (status.cpp is the rule's only exemption).
 Status statusFromCurrentException() {
   try {
     throw;

@@ -1,6 +1,7 @@
 #include "api/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace shhpass::api {
 
@@ -32,6 +33,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   allDone_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+  if (firstError_) {
+    std::exception_ptr err = std::exchange(firstError_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::workerLoop() {
@@ -45,9 +51,16 @@ void ThreadPool::workerLoop() {
       queue_.pop_front();
       ++inFlight_;
     }
-    job();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    jobsExecuted_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err && !firstError_) firstError_ = err;
       --inFlight_;
       if (queue_.empty() && inFlight_ == 0) allDone_.notify_all();
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -23,9 +24,54 @@ constexpr std::size_t NC = kGemmNc;
 // The kernel pool is created lazily on the first setGemmThreads(t > 1) and
 // torn down / resized on later calls. It is shared process-wide; see the
 // threading contract in blas.hpp.
+//
+// The pool is held by shared_ptr so that setGemmThreads() concurrent with
+// an in-flight threaded gemm is race-free: the gemm copies the pointer
+// under gPoolMutex and keeps the old pool alive until its own panels have
+// drained; the replacement pool's workers join when the last reference
+// drops. Regression note: before PR 6 this was a unique_ptr whose reset
+// could destroy (and join) a pool another thread was still submitting to —
+// a use-after-free ThreadSanitizer flags in the setGemmThreads/gemm
+// interleaving test of tests/test_thread_pool_stress.cpp.
 std::mutex gPoolMutex;
-std::unique_ptr<api::ThreadPool> gPool;
+std::shared_ptr<api::ThreadPool> gPool;
 std::size_t gThreads = 1;
+bool gThreadsConfigured = false;  // setGemmThreads() ran (beats the env)
+std::once_flag gEnvInitFlag;
+
+// Pre: gPoolMutex held. Installs a pool of t workers (t > 1) or removes
+// the pool (t <= 1). Never joins under the mutex: an in-use old pool is
+// kept alive by the shared_ptr copies the in-flight gemms hold.
+void setGemmThreadsLocked(std::size_t t) {
+  if (t <= 1) {
+    gPool.reset();
+    gThreads = 1;
+    return;
+  }
+  if (gPool && gThreads == t) return;
+  gPool.reset();
+  gPool = std::make_shared<api::ThreadPool>(t);
+  gThreads = t;
+}
+
+// One-shot SHHPASS_GEMM_THREADS environment default (the tsan CI job uses
+// it to force the threaded kernel path under the full test suite). An
+// explicit setGemmThreads() call — before or after — always wins;
+// malformed values are ignored.
+void ensureEnvThreadInit() {
+  std::call_once(gEnvInitFlag, [] {
+    const char* env = std::getenv("SHHPASS_GEMM_THREADS");
+    if (env == nullptr || *env == '\0') return;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v > 1024) return;
+    std::size_t t = static_cast<std::size_t>(v);
+    if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
+    std::lock_guard<std::mutex> lock(gPoolMutex);
+    if (gThreadsConfigured) return;
+    setGemmThreadsLocked(t);
+  });
+}
 
 // ---------------------------------------------------------------- packing
 // Packed A block: op(A)(i0 : i0+mb, p0 : p0+kb) * alpha, laid out as
@@ -223,12 +269,13 @@ void gemmBlocked(double alpha, const Matrix& a, bool transA, const Matrix& b,
   if (m == 0 || n == 0) return;
 
   std::size_t threads = 1;
-  api::ThreadPool* pool = nullptr;
+  std::shared_ptr<api::ThreadPool> pool;
   if (m * n * k >= kGemmThreadedFlopFloor) {
+    ensureEnvThreadInit();
     std::lock_guard<std::mutex> lock(gPoolMutex);
     if (gThreads > 1 && gPool) {
       threads = gThreads;
-      pool = gPool.get();
+      pool = gPool;  // keeps the pool alive across a concurrent reconfigure
     }
   }
   // Fan out over disjoint column panels, at least one micro-tile wide, so
@@ -265,6 +312,7 @@ void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
 }
 
 std::size_t gemmThreads() {
+  ensureEnvThreadInit();
   std::lock_guard<std::mutex> lock(gPoolMutex);
   return gPool ? gThreads : 1;
 }
@@ -272,15 +320,8 @@ std::size_t gemmThreads() {
 void setGemmThreads(std::size_t t) {
   if (t == 0) t = std::max(1u, std::thread::hardware_concurrency());
   std::lock_guard<std::mutex> lock(gPoolMutex);
-  if (t <= 1) {
-    gPool.reset();
-    gThreads = 1;
-    return;
-  }
-  if (gPool && gThreads == t) return;
-  gPool.reset();  // join the old workers before replacing the pool
-  gPool = std::make_unique<api::ThreadPool>(t);
-  gThreads = t;
+  gThreadsConfigured = true;
+  setGemmThreadsLocked(t);
 }
 
 Matrix multiply(const Matrix& a, bool transA, const Matrix& b, bool transB) {

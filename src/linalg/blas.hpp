@@ -58,7 +58,19 @@
 //     global, so concurrent large gemms serialize their waits but never
 //     deadlock (kernel-pool workers themselves never call gemm);
 //   * the default is serial (threads == 1): callers who never call
-//     setGemmThreads get no thread pool and no behavioral change.
+//     setGemmThreads get no thread pool and no behavioral change;
+//   * setGemmThreads may be called concurrently with in-flight gemm()
+//     calls: the kernel pins the pool it started with (shared ownership),
+//     so a concurrent reconfigure never tears a pool out from under a
+//     running product (race-checked by the tsan CI job and
+//     tests/test_thread_pool_stress.cpp);
+//   * the environment variable SHHPASS_GEMM_THREADS, read once at the
+//     first threaded-eligible gemm() (or gemmThreads()) call, supplies a
+//     process-wide default thread count when setGemmThreads was never
+//     called explicitly — the tsan CI job forces the threaded path under
+//     the whole test suite this way. Explicit setGemmThreads always wins;
+//     by the determinism contract the setting can never change results,
+//     only scheduling.
 //
 // ## Numerical accuracy
 //
@@ -117,8 +129,11 @@ std::size_t gemmThreads();
 
 /// Enable (t > 1) or disable (t <= 1) column-panel threading of the
 /// blocked kernel; t == 0 means std::thread::hardware_concurrency().
-/// Results are bit-identical for every setting (see threading contract).
-/// Not safe to call concurrently with in-flight gemm() calls.
+/// t == 1 (or 0 on a single-core host) structurally bypasses the pool —
+/// no pool exists and gemm runs inline — and is bit-identical to every
+/// threaded setting (see threading contract). Safe to call concurrently
+/// with in-flight gemm() calls: running products keep the pool they
+/// started with alive until their panels drain.
 void setGemmThreads(std::size_t t);
 
 /// Returns op(A) * op(B).
