@@ -2,10 +2,11 @@
 //
 // Runs the public PassivityAnalyzer on the Table-1 benchmark family at a
 // fixed ladder of orders, records per-stage wall times from the stage
-// pipeline's StageTrace records plus reorder and Schur-eigensolver
-// health, measures the dense kernels (naive vs blocked gemm, unblocked
-// vs blocked Hessenberg, unblocked vs blocked SVD, unblocked vs
-// multishift-AED Schur) in GFLOP/s, and writes everything as
+// pipeline's StageTrace records plus reorder, Schur-eigensolver, and
+// staircase deflation-chain health, measures the dense kernels (naive vs
+// blocked gemm, unblocked vs blocked Hessenberg, unblocked vs blocked
+// SVD, unblocked vs multishift-AED Schur, staircase vs legacy SVD
+// deflation chain) in GFLOP/s, and writes everything as
 // BENCH_pipeline.json.
 //
 // The JSON schema is documented in docs/BENCHMARKS.md; the committed
@@ -36,6 +37,9 @@
 
 #include "api/json.hpp"
 #include "bench_support.hpp"
+#include "core/impulse_deflation.hpp"
+#include "core/nondynamic.hpp"
+#include "core/phi_builder.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/hessenberg.hpp"
 #include "linalg/schur.hpp"
@@ -90,7 +94,7 @@ int main(int argc, char** argv) {
   api::json::Writer w;
   w.beginObject();
   w.key("schema").value("shhpass-bench-pipeline");
-  w.key("schemaVersion").value(std::size_t{3});
+  w.key("schemaVersion").value(std::size_t{4});
   w.key("timeUnit").value("seconds");
   w.key("gemmThreads").value(linalg::gemmThreads());
   w.key("reps").value(static_cast<std::size_t>(reps));
@@ -159,6 +163,17 @@ int main(int argc, char** argv) {
     w.key("shiftsApplied").value(rep.schur.shiftsApplied);
     w.key("iterations").value(rep.schur.iterations);
     w.endObject();
+    w.key("staircase").beginObject();
+    w.key("compressions").value(rep.staircase.compressions);
+    w.key("svdFallbacks").value(rep.staircase.svdFallbacks);
+    w.key("diagonalFastPaths").value(rep.staircase.diagonalFastPaths);
+    w.key("qrCompressions").value(rep.staircase.qrCompressions);
+    w.key("skewTridiagonalizations")
+        .value(rep.staircase.skewTridiagonalizations);
+    w.key("reusedCompressions").value(rep.staircase.reusedCompressions);
+    w.key("chainLength").value(rep.staircase.chainLength);
+    w.key("truncatedSteps").value(rep.staircase.truncatedSteps);
+    w.endObject();
     w.endObject();
   }
   w.endArray();
@@ -202,6 +217,30 @@ int main(int argc, char** argv) {
                               [&] { linalg::schurUnblocked(a); }));
     rows.push_back(timeKernel("schur", n, "multishift", schurFlops, reps,
                               [&] { linalg::realSchur(a); }));
+    if (n == 256) {
+      // Deflation chain (impulse deflation + nondynamic removal) with
+      // both implementations FORCED, on the Phi pencil of the order-256
+      // benchmark model. The staircase-vs-SVD-chain speedup floor
+      // (>= 1.5x at this order, enforced by validate_bench_json.py) rides
+      // on these two rows. Flops are nominal (the legacy chain's SVD
+      // count) so the gflops column stays a consistent inverse-seconds
+      // scale for both variants.
+      const ds::DescriptorSystem gChain =
+          circuits::makeBenchmarkModel(n, true);
+      const shh::ShhRealization phi = core::buildPhi(gChain);
+      const double chainFlops = 2.0 * bench::svdNominalFlops(phi.order());
+      const auto runChain = [&phi](core::DeflationPath path) {
+        core::ImpulseDeflationResult s1 =
+            core::deflateImpulseModes(phi, -1.0, path);
+        (void)core::removeNondynamicModes(s1.reduced, -1.0, path);
+      };
+      rows.push_back(
+          timeKernel("deflation-chain", n, "staircase", chainFlops, reps,
+                     [&] { runChain(core::DeflationPath::Staircase); }));
+      rows.push_back(
+          timeKernel("deflation-chain", n, "svd-chain", chainFlops, reps,
+                     [&] { runChain(core::DeflationPath::SvdChain); }));
+    }
   }
   w.key("kernels").beginArray();
   for (const KernelRow& r : rows) {

@@ -33,6 +33,16 @@ bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
       rankPolicy.minKeptMargin != other.rankPolicy.minKeptMargin ||
       rankPolicy.maxDroppedMargin != other.rankPolicy.maxDroppedMargin)
     return false;
+  if (staircase.compressions != other.staircase.compressions ||
+      staircase.svdFallbacks != other.staircase.svdFallbacks ||
+      staircase.diagonalFastPaths != other.staircase.diagonalFastPaths ||
+      staircase.qrCompressions != other.staircase.qrCompressions ||
+      staircase.skewTridiagonalizations !=
+          other.staircase.skewTridiagonalizations ||
+      staircase.reusedCompressions != other.staircase.reusedCompressions ||
+      staircase.chainLength != other.staircase.chainLength ||
+      staircase.truncatedSteps != other.staircase.truncatedSteps)
+    return false;
   if (schur.multishift != other.schur.multishift ||
       schur.sweeps != other.schur.sweeps ||
       schur.aedWindows != other.schur.aedWindows ||
@@ -87,6 +97,16 @@ std::string AnalysisReport::toJson() const {
   w.key("decisions").value(rankPolicy.decisions);
   w.key("minKeptMargin").value(rankPolicy.minKeptMargin);
   w.key("maxDroppedMargin").value(rankPolicy.maxDroppedMargin);
+  w.endObject();
+  w.key("staircase").beginObject();
+  w.key("compressions").value(staircase.compressions);
+  w.key("svdFallbacks").value(staircase.svdFallbacks);
+  w.key("diagonalFastPaths").value(staircase.diagonalFastPaths);
+  w.key("qrCompressions").value(staircase.qrCompressions);
+  w.key("skewTridiagonalizations").value(staircase.skewTridiagonalizations);
+  w.key("reusedCompressions").value(staircase.reusedCompressions);
+  w.key("chainLength").value(staircase.chainLength);
+  w.key("truncatedSteps").value(staircase.truncatedSteps);
   w.endObject();
   w.endObject();
   w.key("warnings").beginArray();
@@ -194,6 +214,7 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   report.reorder = state.result.reorder;
   report.schur = state.result.schur;
   report.rankPolicy = state.result.rankPolicy;
+  report.staircase = state.result.staircase;
   if (report.reorder.rejectedSwaps > 0)
     report.warnings.push_back(Warning::ReorderSwapRejected);
   for (const StageTrace& t : report.stages) report.totalSeconds += t.seconds;

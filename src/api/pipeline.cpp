@@ -57,6 +57,7 @@ class ImpulseDeflationStage final : public Stage {
     s.deflation = core::deflateImpulseModes(s.phi, s.options.rankTol);
     s.result.removedImpulsive = s.deflation.removed;
     s.result.rankPolicy.merge(s.deflation.rankReport);
+    s.result.staircase.merge(s.deflation.staircase);
     return Status::okStatus();
   }
 };
@@ -70,6 +71,7 @@ class NondynamicRemovalStage final : public Stage {
         core::removeNondynamicModes(s.deflation.reduced, s.options.rankTol);
     s.result.removedNondynamic = s.nondynamic.removed;
     s.result.rankPolicy.merge(s.nondynamic.rankReport);
+    s.result.staircase.merge(s.nondynamic.staircase);
     if (!s.nondynamic.impulseFree)
       return verdict(core::FailureStage::ResidualImpulses);
     return Status::okStatus();
@@ -82,13 +84,22 @@ class M1ExtractionStage final : public Stage {
  public:
   const char* name() const override { return "m1-extraction"; }
   Status run(PipelineState& s) override {
+    // The impulse-deflation stage's compression of the balanced E (the
+    // half-size block of Phi's diag(E, E^T)) serves this whole stage too.
+    const linalg::Compression* eComp =
+        s.deflation.hasHalfECompression ? &s.deflation.halfECompression
+                                        : nullptr;
     // Skew-symmetric Mk cancel inside Phi, so the grade >= 3 screen only
     // needs to run when the stage-2 deflation was non-trivial.
     if (s.result.removedImpulsive > 0 &&
-        core::hasHigherOrderImpulses(s.balanced.sys, s.options.rankTol))
+        core::hasHigherOrderImpulses(s.balanced.sys, s.options.rankTol,
+                                     &s.result.rankPolicy,
+                                     &s.result.staircase, eComp))
       return verdict(core::FailureStage::HigherOrderImpulse);
-    core::M1Extraction m1 =
-        core::extractM1(s.balanced.sys, s.options.rankTol);
+    core::M1Extraction m1 = core::extractM1(
+        s.balanced.sys, s.options.rankTol, core::DeflationPath::Auto, eComp);
+    s.result.rankPolicy.merge(m1.rankReport);
+    s.result.staircase.merge(m1.staircase);
     // The balanced system is G_b(s) = G(tau * s) with residue tau * M1 at
     // infinity; undo the frequency scaling for reporting.
     s.result.m1 = (1.0 / s.balanced.freqScale) * m1.m1;

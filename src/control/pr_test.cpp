@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "control/hamiltonian.hpp"
+#include "control/sylvester.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
@@ -61,10 +62,16 @@ PrTestResult testPositiveRealProper(const Matrix& a, const Matrix& b,
   const std::size_t n = a.rows();
   PrTestResult res;
 
-  // Stability prerequisite.
+  // Stability prerequisite. The proper part handed in by the pipeline is
+  // the reordered Schur factor itself — exactly quasi-triangular — so its
+  // eigenvalues can be read off the diagonal blocks without paying for
+  // another full Schur factorization of a matrix that already is one.
   res.stable = true;
   if (n > 0) {
-    for (const auto& l : linalg::eigenvalues(a))
+    const std::vector<std::complex<double>> eigs =
+        isQuasiTriangular(a) ? linalg::quasiTriangularEigenvalues(a)
+                             : linalg::eigenvalues(a);
+    for (const auto& l : eigs)
       if (l.real() >= -1e-12 * std::max(1.0, a.normFrobenius())) {
         res.stable = false;
         break;

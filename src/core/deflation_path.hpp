@@ -1,0 +1,30 @@
+// Path selector shared by the deflation-chain stages (impulse deflation,
+// nondynamic removal, m1 extraction): the one-pass staircase reduction
+// (linalg/staircase.hpp) vs the legacy full-SVD chain.
+//
+// Auto dispatches on the order of the pencil being deflated: at or above
+// linalg::kStaircaseCrossover the staircase path runs (structure-
+// exploiting compressions, reused across consecutive chain steps); below
+// it the legacy SVD-chain implementation runs, which keeps the golden-set
+// decision path on the historical kernel sequence and doubles as the
+// oracle for the seeded staircase equivalence suite
+// (tests/test_staircase_random.cpp).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/staircase.hpp"
+
+namespace shhpass::core {
+
+/// Which deflation-chain implementation to run.
+enum class DeflationPath { Auto, Staircase, SvdChain };
+
+/// Resolve Auto against the order of the pencil being deflated.
+inline DeflationPath resolveDeflationPath(DeflationPath p, std::size_t order) {
+  if (p != DeflationPath::Auto) return p;
+  return order >= linalg::kStaircaseCrossover ? DeflationPath::Staircase
+                                              : DeflationPath::SvdChain;
+}
+
+}  // namespace shhpass::core

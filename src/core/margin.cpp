@@ -29,7 +29,8 @@ bool shiftedPr(const ProperPartResult& pp, double delta, double imagTol) {
 
 }  // namespace
 
-PassivityMargin passivityMargin(const ds::DescriptorSystem& g, double tol) {
+PassivityMargin passivityMargin(const ds::DescriptorSystem& g, double tol,
+                                double rankTol) {
   PassivityMargin out;
   g.validate();
   if (!g.isSquareSystem() || !ds::isRegular(g)) {
@@ -44,18 +45,20 @@ PassivityMargin passivityMargin(const ds::DescriptorSystem& g, double tol) {
   }
 
   // Structural (impulsive) defects are not repairable by D-shifts.
+  // `rankTol` is threaded into every stage (historically these calls took
+  // the default, silently ignoring a caller-chosen tolerance).
   shh::ShhRealization phi = buildPhi(bal.sys);
-  ImpulseDeflationResult s1 = deflateImpulseModes(phi);
-  NondynamicRemovalResult s2 = removeNondynamicModes(s1.reduced);
+  ImpulseDeflationResult s1 = deflateImpulseModes(phi, rankTol);
+  NondynamicRemovalResult s2 = removeNondynamicModes(s1.reduced, rankTol);
   if (!s2.impulseFree) {
     out.structuralDefect = FailureStage::ResidualImpulses;
     return out;
   }
-  if (s1.removed > 0 && hasHigherOrderImpulses(bal.sys)) {
+  if (s1.removed > 0 && hasHigherOrderImpulses(bal.sys, rankTol)) {
     out.structuralDefect = FailureStage::HigherOrderImpulse;
     return out;
   }
-  M1Extraction m1 = extractM1(bal.sys);
+  M1Extraction m1 = extractM1(bal.sys, rankTol);
   if (!m1.symmetric || !m1.psd) {
     out.structuralDefect = FailureStage::M1NotPsd;
     return out;
@@ -109,8 +112,8 @@ PassivityMargin passivityMargin(const ds::DescriptorSystem& g, double tol) {
 }
 
 ds::DescriptorSystem enforcePassivity(const ds::DescriptorSystem& g,
-                                      double headroom) {
-  PassivityMargin pm = passivityMargin(g);
+                                      double headroom, double rankTol) {
+  PassivityMargin pm = passivityMargin(g, 1e-6, rankTol);
   if (!pm.defined)
     throw std::invalid_argument(
         "enforcePassivity: structural defect (" +

@@ -30,16 +30,21 @@ struct PassivityMargin {
 };
 
 /// Compute the passivity margin of a descriptor system. `tol` is the
-/// absolute bisection tolerance on the margin value.
+/// absolute bisection tolerance on the margin value; `rankTol` is threaded
+/// into every rank decision of the structural-defect screen (impulse
+/// deflation, nondynamic removal, higher-order-chain and M1 checks),
+/// matching the analyzePassivity pipeline (negative = shared SVD default).
 PassivityMargin passivityMargin(const ds::DescriptorSystem& g,
-                                double tol = 1e-6);
+                                double tol = 1e-6, double rankTol = -1.0);
 
 /// Passivity enforcement by feedthrough augmentation: returns a copy of g
 /// with D increased by (margin deficit + headroom) * I when the system has
 /// a repairable (proper-part) violation; returns the input unchanged when
 /// already passive. Throws std::invalid_argument when the defect is
-/// impulsive/structural and cannot be repaired this way.
+/// impulsive/structural and cannot be repaired this way. `rankTol` as in
+/// passivityMargin.
 ds::DescriptorSystem enforcePassivity(const ds::DescriptorSystem& g,
-                                      double headroom = 1e-9);
+                                      double headroom = 1e-9,
+                                      double rankTol = -1.0);
 
 }  // namespace shhpass::core

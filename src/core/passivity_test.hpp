@@ -18,6 +18,7 @@
 #include "ds/descriptor.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/schur_reorder.hpp"
+#include "linalg/staircase.hpp"
 
 namespace shhpass::core {
 
@@ -65,6 +66,12 @@ struct PassivityResult {
   /// nondynamic-removal, and proper-part stages. A kept margin near 1
   /// means some deflation decision was numerically sharp.
   linalg::RankReport rankPolicy;
+  /// Health of the one-pass staircase deflation chain (kernel mix,
+  /// compression reuse, chain truncation — linalg/staircase.hpp), merged
+  /// across the impulse-deflation, nondynamic-removal, and m1-extraction
+  /// stages. All-zero when every stage ran the legacy SVD chain (orders
+  /// below linalg::kStaircaseCrossover).
+  linalg::StaircaseReport staircase;
 };
 
 /// Options for the proposed test.

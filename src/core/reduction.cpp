@@ -22,6 +22,14 @@ namespace {
 
 // Symmetric PSD square root factor: M = F^T F with F = sqrt(S) V^T from the
 // eigen-decomposition, keeping only eigenvalues above tol.
+//
+// The callers' cutoffs (1e-14 * Gramian scale, 1e-12 * M1 scale) are
+// EXEMPT from the shared rank policy on purpose: they threshold
+// *eigenvalues* of PSD matrices that are themselves squared quantities
+// (Gramians ~ factor^2, M1 from a product of two solves), so the policy's
+// singular-value default would be quadratically too tight and resurrect
+// noise states. Factor-rank decisions here are a reduction knob, not a
+// pencil rank certificate, and stay out of RankReport.
 Matrix psdFactor(const Matrix& m, double tol) {
   linalg::SymmetricEig eig(m);
   const auto& w = eig.eigenvalues();
@@ -43,19 +51,22 @@ Matrix psdFactor(const Matrix& m, double tol) {
 }  // namespace
 
 ReducedModel reduceDescriptor(const ds::DescriptorSystem& g,
-                              std::size_t properOrder, double hsvTol) {
+                              std::size_t properOrder, double hsvTol,
+                              double rankTol) {
   ReducedModel out;
   g.validate();
 
-  // Run the pipeline on the balanced system.
+  // Run the pipeline on the balanced system, threading `rankTol` into
+  // every stage (historically these calls took the default, silently
+  // ignoring a caller-chosen tolerance).
   ds::BalancedSystem bal = ds::balanceDescriptor(g);
   shh::ShhRealization phi = buildPhi(bal.sys);
-  ImpulseDeflationResult s1 = deflateImpulseModes(phi);
-  NondynamicRemovalResult s2 = removeNondynamicModes(s1.reduced);
+  ImpulseDeflationResult s1 = deflateImpulseModes(phi, rankTol);
+  NondynamicRemovalResult s2 = removeNondynamicModes(s1.reduced, rankTol);
   if (!s2.impulseFree) return out;
   ProperPartResult pp = extractProperPart(s2.shh);
   if (!pp.ok) return out;
-  M1Extraction m1e = extractM1(bal.sys);
+  M1Extraction m1e = extractM1(bal.sys, rankTol);
   if (!m1e.symmetric) return out;
 
   const std::size_t np = pp.lambda.rows();

@@ -35,8 +35,14 @@ struct ReducedModel {
 /// proper states; `hsvTol` additionally drops states whose Hankel singular
 /// value is below hsvTol * hsv_max. The reduction is performed on the
 /// balanced copy and mapped back to the original frequency scale.
+/// `rankTol` is threaded into every rank decision of the deflation chain
+/// (impulse deflation, nondynamic removal, M1 extraction), matching the
+/// analyzePassivity pipeline (negative = shared SVD default); it does NOT
+/// affect the Gramian-factor cutoffs, which are eigenvalue tolerances
+/// documented at psdFactor.
 ReducedModel reduceDescriptor(const ds::DescriptorSystem& g,
                               std::size_t properOrder,
-                              double hsvTol = 0.0);
+                              double hsvTol = 0.0,
+                              double rankTol = -1.0);
 
 }  // namespace shhpass::core

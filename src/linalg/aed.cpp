@@ -201,7 +201,7 @@ AedResult aggressiveEarlyDeflation(Matrix& h, Matrix& z, std::size_t ilo,
     gemm(1.0, v, true, right, false, 0.0, tmp);
     h.setBlock(kwtop, ihi + 1, tmp);
   }
-  {
+  if (z.rows() > 0) {
     const Matrix zc = z.block(0, kwtop, z.rows(), nw);
     Matrix tmp(z.rows(), nw);
     gemm(1.0, zc, false, v, false, 0.0, tmp);

@@ -9,6 +9,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
 #include "api/thread_pool.hpp"
 
 namespace shhpass::linalg {
@@ -142,12 +146,125 @@ void microKernelGeneric(std::size_t kb, const double* ap, const double* bp,
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define SHHPASS_GEMM_X86_DISPATCH 1
+// Hand-scheduled AVX2+FMA micro-kernel: the 4x8 accumulator tile lives in
+// eight ymm registers (row i split into columns 0-3 / 4-7), each k step
+// is two B loads, four A broadcasts, and eight fmadds. Every C element
+// receives exactly acc[i][j] += a_i * b_j per k in ascending k order —
+// the same per-element accumulation sequence as the portable body under
+// FMA contraction, just without the compiler spilling the tile.
 __attribute__((target("avx2,fma"))) void microKernelAvx2(
     std::size_t kb, const double* ap, const double* bp, double* out) {
-  SHHPASS_GEMM_MICRO_BODY
+  static_assert(MR == 4 && NR == 8, "micro-kernel is tiled for 4x8");
+  __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+  __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+  __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+  __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+  for (std::size_t k = 0; k < kb; ++k, ap += MR, bp += NR) {
+    const __m256d b0 = _mm256_loadu_pd(bp);
+    const __m256d b1 = _mm256_loadu_pd(bp + 4);
+    __m256d a = _mm256_broadcast_sd(ap);
+    c00 = _mm256_fmadd_pd(a, b0, c00);
+    c01 = _mm256_fmadd_pd(a, b1, c01);
+    a = _mm256_broadcast_sd(ap + 1);
+    c10 = _mm256_fmadd_pd(a, b0, c10);
+    c11 = _mm256_fmadd_pd(a, b1, c11);
+    a = _mm256_broadcast_sd(ap + 2);
+    c20 = _mm256_fmadd_pd(a, b0, c20);
+    c21 = _mm256_fmadd_pd(a, b1, c21);
+    a = _mm256_broadcast_sd(ap + 3);
+    c30 = _mm256_fmadd_pd(a, b0, c30);
+    c31 = _mm256_fmadd_pd(a, b1, c31);
+  }
+  _mm256_storeu_pd(out, c00);
+  _mm256_storeu_pd(out + 4, c01);
+  _mm256_storeu_pd(out + 8, c10);
+  _mm256_storeu_pd(out + 12, c11);
+  _mm256_storeu_pd(out + 16, c20);
+  _mm256_storeu_pd(out + 20, c21);
+  _mm256_storeu_pd(out + 24, c30);
+  _mm256_storeu_pd(out + 28, c31);
 }
 #endif
 #undef SHHPASS_GEMM_MICRO_BODY
+
+// ------------------------------------------------- level-1 hot kernels
+// dotQuad / axpy / planeRot follow the micro-kernel pattern exactly: one
+// portable body, one AVX2+FMA clone, a per-process dispatch. The quad
+// accumulator layout of dotQuad maps lane-for-lane onto one ymm register,
+// so the vector clone performs the same four independent partial sums
+// (with FMA rounding) and the identical (s0 + s1) + (s2 + s3) reduction.
+
+#define SHHPASS_DOT_QUAD_BODY                                         \
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;                      \
+  std::size_t i = 0;                                                  \
+  for (; i + 4 <= len; i += 4) {                                      \
+    s0 += x[i] * y[i];                                                \
+    s1 += x[i + 1] * y[i + 1];                                        \
+    s2 += x[i + 2] * y[i + 2];                                        \
+    s3 += x[i + 3] * y[i + 3];                                        \
+  }                                                                   \
+  for (; i < len; ++i) s0 += x[i] * y[i];                             \
+  return (s0 + s1) + (s2 + s3);
+
+#define SHHPASS_AXPY_BODY                                             \
+  for (std::size_t i = 0; i < len; ++i) y[i] += alpha * x[i];
+
+#define SHHPASS_PLANE_ROT_BODY                                        \
+  for (std::size_t i = 0; i < len; ++i) {                             \
+    const double a = x[i], b = y[i];                                  \
+    x[i] = cs * a + sn * b;                                           \
+    y[i] = -sn * a + cs * b;                                          \
+  }
+
+double dotQuadGeneric(const double* x, const double* y, std::size_t len) {
+  SHHPASS_DOT_QUAD_BODY
+}
+
+void axpyGeneric(double alpha, const double* x, std::size_t len, double* y) {
+  SHHPASS_AXPY_BODY
+}
+
+void planeRotGeneric(double cs, double sn, double* x, double* y,
+                     std::size_t len) {
+  SHHPASS_PLANE_ROT_BODY
+}
+
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+__attribute__((target("avx2,fma"))) double dotQuadAvx2(const double* x,
+                                                       const double* y,
+                                                       std::size_t len) {
+  SHHPASS_DOT_QUAD_BODY
+}
+
+__attribute__((target("avx2,fma"))) void axpyAvx2(double alpha,
+                                                  const double* x,
+                                                  std::size_t len,
+                                                  double* y) {
+  SHHPASS_AXPY_BODY
+}
+
+__attribute__((target("avx2,fma"))) void planeRotAvx2(double cs, double sn,
+                                                      double* x, double* y,
+                                                      std::size_t len) {
+  SHHPASS_PLANE_ROT_BODY
+}
+#endif
+#undef SHHPASS_DOT_QUAD_BODY
+#undef SHHPASS_AXPY_BODY
+#undef SHHPASS_PLANE_ROT_BODY
+
+using DotQuadFn = double (*)(const double*, const double*, std::size_t);
+using AxpyFn = void (*)(double, const double*, std::size_t, double*);
+using PlaneRotFn = void (*)(double, double, double*, double*, std::size_t);
+
+bool cpuHasAvx2Fma() {
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+  __builtin_cpu_init();  // may run before main
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
 
 using MicroKernelFn = void (*)(std::size_t, const double*, const double*,
                                double*);
@@ -239,7 +356,70 @@ void checkGemmShapes(const Matrix& a, bool transA, const Matrix& b,
     throw std::invalid_argument("gemm: output shape mismatch");
 }
 
+// The reference gemm body, compiled once portable and once under the
+// AVX2+FMA target (the i-k-j inner loop is a contiguous axpy into row i
+// of C when op(B) = B, which the vectorizer handles directly).
+#define SHHPASS_GEMM_REF_BODY                                         \
+  auto A = [&](std::size_t i, std::size_t p) {                        \
+    return transA ? a(p, i) : a(i, p);                                \
+  };                                                                  \
+  auto B = [&](std::size_t p, std::size_t j) {                        \
+    return transB ? b(j, p) : b(p, j);                                \
+  };                                                                  \
+  for (std::size_t i = 0; i < m; ++i) {                               \
+    for (std::size_t p = 0; p < k; ++p) {                             \
+      const double v = alpha * A(i, p);                               \
+      if (v == 0.0) continue;                                         \
+      for (std::size_t j = 0; j < n; ++j) c(i, j) += v * B(p, j);     \
+    }                                                                 \
+  }
+
+void gemmReferenceGeneric(double alpha, const Matrix& a, bool transA,
+                          const Matrix& b, bool transB, Matrix& c,
+                          std::size_t m, std::size_t n, std::size_t k) {
+  SHHPASS_GEMM_REF_BODY
+}
+
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+__attribute__((target("avx2,fma"))) void gemmReferenceAvx2(
+    double alpha, const Matrix& a, bool transA, const Matrix& b, bool transB,
+    Matrix& c, std::size_t m, std::size_t n, std::size_t k) {
+  SHHPASS_GEMM_REF_BODY
+}
+#endif
+#undef SHHPASS_GEMM_REF_BODY
+
 }  // namespace
+
+double dotQuad(const double* x, const double* y, std::size_t len) {
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+  static const DotQuadFn fn =
+      cpuHasAvx2Fma() ? DotQuadFn{dotQuadAvx2} : DotQuadFn{dotQuadGeneric};
+  return fn(x, y, len);
+#else
+  return dotQuadGeneric(x, y, len);
+#endif
+}
+
+void axpy(double alpha, const double* x, std::size_t len, double* y) {
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+  static const AxpyFn fn =
+      cpuHasAvx2Fma() ? AxpyFn{axpyAvx2} : AxpyFn{axpyGeneric};
+  fn(alpha, x, len, y);
+#else
+  axpyGeneric(alpha, x, len, y);
+#endif
+}
+
+void planeRot(double cs, double sn, double* x, double* y, std::size_t len) {
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+  static const PlaneRotFn fn = cpuHasAvx2Fma() ? PlaneRotFn{planeRotAvx2}
+                                               : PlaneRotFn{planeRotGeneric};
+  fn(cs, sn, x, y, len);
+#else
+  planeRotGeneric(cs, sn, x, y, len);
+#endif
+}
 
 void gemmReference(double alpha, const Matrix& a, bool transA,
                    const Matrix& b, bool transB, double beta, Matrix& c) {
@@ -247,19 +427,13 @@ void gemmReference(double alpha, const Matrix& a, bool transA,
   checkGemmShapes(a, transA, b, transB, c, m, n, k);
 
   if (beta != 1.0) c *= beta;
-  auto A = [&](std::size_t i, std::size_t p) {
-    return transA ? a(p, i) : a(i, p);
-  };
-  auto B = [&](std::size_t p, std::size_t j) {
-    return transB ? b(j, p) : b(p, j);
-  };
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const double v = alpha * A(i, p);
-      if (v == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) c(i, j) += v * B(p, j);
-    }
+#ifdef SHHPASS_GEMM_X86_DISPATCH
+  if (cpuHasAvx2Fma()) {
+    gemmReferenceAvx2(alpha, a, transA, b, transB, c, m, n, k);
+    return;
   }
+#endif
+  gemmReferenceGeneric(alpha, a, transA, b, transB, c, m, n, k);
 }
 
 void gemmBlocked(double alpha, const Matrix& a, bool transA, const Matrix& b,

@@ -145,6 +145,27 @@ Matrix atb(const Matrix& a, const Matrix& b);
 /// Returns A * B^T without forming B^T.
 Matrix abt(const Matrix& a, const Matrix& b);
 
+/// Dot product sum_i x[i] * y[i] over contiguous arrays, accumulated in
+/// FOUR independent partial sums combined as (s0 + s1) + (s2 + s3). The
+/// fixed reduction order keeps the result deterministic and independent
+/// of thread count; like the gemm micro-kernel, an AVX2+FMA clone is
+/// selected once at startup, so rounding may differ between machines but
+/// never between runs. This is the building block for the hot gemv-style
+/// row dots of the Hessenberg panel, the skew tridiagonalization, and the
+/// symplectic reflector passes.
+double dotQuad(const double* x, const double* y, std::size_t len);
+
+/// y[i] += alpha * x[i] over contiguous arrays — exact per-element update
+/// (each y[i] receives exactly one fused or rounded multiply-add; no
+/// reassociation), with the same per-machine AVX2 dispatch as dotQuad.
+void axpy(double alpha, const double* x, std::size_t len, double* y);
+
+/// Plane rotation on contiguous arrays:
+/// (x[i], y[i]) <- (cs * x[i] + sn * y[i], -sn * x[i] + cs * y[i]).
+/// Exact per-element transcription of the two-line scalar update, with
+/// the same per-machine AVX2 dispatch as dotQuad.
+void planeRot(double cs, double sn, double* x, double* y, std::size_t len);
+
 /// Dot product of columns ja of A and jb of B (rows must match).
 double colDot(const Matrix& a, std::size_t ja, const Matrix& b,
               std::size_t jb);

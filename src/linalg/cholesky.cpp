@@ -69,15 +69,14 @@ bool isPositiveSemidefinite(const Matrix& a, double tol) {
   if (a.rows() == 0) return true;
   const double scale = std::max(1.0, a.maxAbs());
   const double shift = tol * scale;
-  // Shifted Cholesky is a fast sufficient test.
+  // Fast sufficient test: Cholesky of the DOWN-shifted matrix succeeding
+  // proves lambda_min(a) > shift >= -shift, the exact-path acceptance
+  // condition, so accepting here returns the same verdict the eigenvalue
+  // check would — at O(n^3/3) instead of a full tridiagonalization + QL.
   Matrix shifted = a;
-  for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += shift;
-  if (Cholesky(shifted).success()) {
-    // Confirm with the exact smallest eigenvalue only when the fast probe
-    // was marginal; otherwise accept.
-    SymmetricEig eig(a, /*wantVectors=*/false);
-    return eig.eigenvalues().front() >= -shift;
-  }
+  for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) -= shift;
+  if (Cholesky(shifted).success()) return true;
+  // Marginal or indefinite: settle it with the exact smallest eigenvalue.
   SymmetricEig eig(a, /*wantVectors=*/false);
   return eig.eigenvalues().front() >= -shift;
 }

@@ -27,9 +27,9 @@ namespace {
 // panel is reduced are the trailing columns updated, with three big gemm
 // calls; Q is accumulated panel-by-panel at the end the same way. All
 // O(n^3) work outside the skinny panel products is therefore BLAS-3.
-HessenbergResult hessenbergBlocked(const Matrix& a) {
+HessenbergResult hessenbergBlocked(const Matrix& a, bool wantQ) {
   const std::size_t n = a.rows();
-  HessenbergResult res{a, Matrix::identity(n)};
+  HessenbergResult res{a, wantQ ? Matrix::identity(n) : Matrix()};
   Matrix& h = res.h;
 
   struct PanelFactors {
@@ -108,11 +108,17 @@ HessenbergResult hessenbergBlocked(const Matrix& a) {
       }
       tmat(t, t) = tauT;
 
-      // Extend Y: y_new = tau * (A0 v_new - Y (V^T v_new)).
-      for (std::size_t i = 0; i < n; ++i) {
-        double s = 0.0;
-        for (std::size_t c = j + 1; c < n; ++c) s += a0(i, c - k) * v(c, t);
-        yv[i] = s;
+      // Extend Y: y_new = tau * (A0 v_new - Y (V^T v_new)). The dominant
+      // dot of the whole panel: stream row i of a0 against the contiguous
+      // reflector tail (vtail holds v(j+1 : n, t)) through dotQuad (fixed
+      // four-accumulator reduction order — deterministic, per-machine
+      // AVX2 dispatch).
+      {
+        const std::size_t len = n - j - 1;
+        const std::size_t a0cols = a0.cols();
+        const double* a0base = a0.data() + (j + 1 - k);
+        for (std::size_t i = 0; i < n; ++i)
+          yv[i] = dotQuad(a0base + i * a0cols, vtail.data(), len);
       }
       for (std::size_t c = 0; c < t; ++c) {
         const double gc = g[c];
@@ -142,6 +148,7 @@ HessenbergResult hessenbergBlocked(const Matrix& a) {
 
   // Accumulate Q = (I - V_0 T_0 V_0^T)(I - V_1 T_1 V_1^T)...: each panel
   // touches only columns k+1 .. n-1 of Q (the reflector support).
+  if (!wantQ) return res;
   for (const PanelFactors& p : panels) {
     const std::size_t first = p.k + 1;
     Matrix qcols = res.q.block(0, first, n, n - first);
@@ -154,16 +161,16 @@ HessenbergResult hessenbergBlocked(const Matrix& a) {
 
 }  // namespace
 
-HessenbergResult hessenberg(const Matrix& a) {
+HessenbergResult hessenberg(const Matrix& a, bool wantQ) {
   if (!a.isSquare()) throw std::invalid_argument("hessenberg: not square");
-  if (a.rows() < kHessenbergCrossover) return hessenbergUnblocked(a);
-  return hessenbergBlocked(a);
+  if (a.rows() < kHessenbergCrossover) return hessenbergUnblocked(a, wantQ);
+  return hessenbergBlocked(a, wantQ);
 }
 
-HessenbergResult hessenbergUnblocked(const Matrix& a) {
+HessenbergResult hessenbergUnblocked(const Matrix& a, bool wantQ) {
   if (!a.isSquare()) throw std::invalid_argument("hessenberg: not square");
   const int n = static_cast<int>(a.rows());
-  HessenbergResult res{a, Matrix::identity(a.rows())};
+  HessenbergResult res{a, wantQ ? Matrix::identity(a.rows()) : Matrix()};
   if (n < 3) return res;
   Matrix& h = res.h;
   std::vector<double> ort(n, 0.0);
@@ -205,16 +212,18 @@ HessenbergResult hessenbergUnblocked(const Matrix& a) {
 
   // Accumulate transformations (ortran): requires the reflector vectors
   // still stored in the subdiagonal part of h plus ort[].
-  Matrix& q = res.q;
-  for (int m = high - 1; m >= low + 1; --m) {
-    if (h(m, m - 1) != 0.0) {
-      for (int i = m + 1; i <= high; ++i) ort[i] = h(i, m - 1);
-      for (int j = m; j <= high; ++j) {
-        double g = 0.0;
-        for (int i = m; i <= high; ++i) g += ort[i] * q(i, j);
-        // Double division avoids possible underflow (EISPACK comment).
-        g = (g / ort[m]) / h(m, m - 1);
-        for (int i = m; i <= high; ++i) q(i, j) += g * ort[i];
+  if (wantQ) {
+    Matrix& q = res.q;
+    for (int m = high - 1; m >= low + 1; --m) {
+      if (h(m, m - 1) != 0.0) {
+        for (int i = m + 1; i <= high; ++i) ort[i] = h(i, m - 1);
+        for (int j = m; j <= high; ++j) {
+          double g = 0.0;
+          for (int i = m; i <= high; ++i) g += ort[i] * q(i, j);
+          // Double division avoids possible underflow (EISPACK comment).
+          g = (g / ort[m]) / h(m, m - 1);
+          for (int i = m; i <= high; ++i) q(i, j) += g * ort[i];
+        }
       }
     }
   }

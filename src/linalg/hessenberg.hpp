@@ -43,17 +43,21 @@ inline constexpr std::size_t kHessenbergCrossover = 128;
 /// Result of a Hessenberg reduction.
 struct HessenbergResult {
   Matrix h;  ///< Upper Hessenberg (zero below the first subdiagonal).
-  Matrix q;  ///< Orthogonal accumulation, A = q * h * q^T.
+  Matrix q;  ///< Orthogonal accumulation, A = q * h * q^T (0x0 when the
+             ///< reduction was requested with wantQ = false).
 };
 
 /// Reduce a square matrix to upper Hessenberg form with Householder
 /// reflectors. Dispatches between the blocked (large) and the unblocked
-/// (small) implementation; see the header comment.
-HessenbergResult hessenberg(const Matrix& a);
+/// (small) implementation; see the header comment. With wantQ = false
+/// the orthogonal factor is never accumulated (result.q is 0x0) — the H
+/// factor is bit-identical either way; eigenvalue-only callers skip the
+/// accumulation cost entirely.
+HessenbergResult hessenberg(const Matrix& a, bool wantQ = true);
 
 /// The unblocked EISPACK `orthes`/`ortran` reference implementation.
 /// Exposed for the blocked-vs-reference equivalence tests and kernel
 /// benchmarks; production code should call hessenberg().
-HessenbergResult hessenbergUnblocked(const Matrix& a);
+HessenbergResult hessenbergUnblocked(const Matrix& a, bool wantQ = true);
 
 }  // namespace shhpass::linalg

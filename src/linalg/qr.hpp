@@ -86,6 +86,9 @@ class QR {
 
 /// Orthonormal basis for the range (column space) of A, determined to
 /// relative tolerance `tol` via column-pivoted QR. Returns m x rank.
+/// The 1e-12 default predates the shared SVD rank policy and is kept for
+/// the QR fallback path only; new callers should thread a resolved
+/// tolerance through.  lint-ok: rank-tol-literal
 Matrix orthonormalRange(const Matrix& a, double tol = 1e-12);
 
 /// Orthonormal completion: given m x k V with orthonormal columns, returns

@@ -293,7 +293,19 @@ RealSchurResult realSchur(const Matrix& a) {
 }
 
 std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
-  return realSchur(a).eigenvalues;
+  if (!a.isSquare()) throw std::invalid_argument("eigenvalues: not square");
+  if (a.rows() < kSchurCrossover) return schurUnblocked(a).eigenvalues;
+  // Values-only path: run the same Hessenberg + multishift iteration on
+  // the same H factor, but never accumulate the orthogonal factor (a 0x0
+  // q skips every accumulation loop and flush gemm). The T iterates are
+  // bit-identical to realSchur's, so the eigenvalues agree exactly; only
+  // the discarded Q work is saved.
+  RealSchurResult res;
+  HessenbergResult hes = hessenberg(a, /*wantQ=*/false);
+  res.t = std::move(hes.h);
+  multishiftSchurHessenberg(res.t, res.q, &res.report);
+  finalizeSchurForm(res);
+  return res.eigenvalues;
 }
 
 std::size_t repairQuasiTriangularStructure(Matrix& t) {

@@ -51,7 +51,11 @@ RealSchurResult realSchur(const Matrix& a);
 /// benchmarks; production code should call realSchur().
 RealSchurResult schurUnblocked(const Matrix& a);
 
-/// Eigenvalues only (convenience; same cost as realSchur).
+/// Eigenvalues only. Above the crossover this runs the identical
+/// Hessenberg + multishift iteration WITHOUT accumulating the orthogonal
+/// factor (the Q-sized gemm flushes and accumulation loops are skipped
+/// outright), so the values are exactly realSchur's at a fraction of the
+/// cost; below the crossover it is plain schurUnblocked.
 std::vector<std::complex<double>> eigenvalues(const Matrix& a);
 
 /// Extract the eigenvalues from an already quasi-triangular matrix

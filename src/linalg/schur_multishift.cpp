@@ -436,7 +436,7 @@ void multishiftSweep(Matrix& h, Matrix& z, long ilo, long ihi,
       gemm(1.0, top, false, u, false, 0.0, tmp);
       h.setBlock(0, w0, tmp);
     }
-    {
+    if (z.rows() > 0) {
       Matrix zc = z.block(0, w0, z.rows(), nw);
       Matrix tmp(z.rows(), nw);
       gemm(1.0, zc, false, u, false, 0.0, tmp);
@@ -519,7 +519,7 @@ void multishiftSchurHessenberg(Matrix& h, Matrix& z, SchurReport* report) {
           gemm(1.0, v, true, right, false, 0.0, tmp);
           h.setBlock(lo, ihi + 1, tmp);
         }
-        {
+        if (z.rows() > 0) {
           const Matrix zc = z.block(0, lo, z.rows(), sz);
           Matrix tmp(z.rows(), sz);
           gemm(1.0, zc, false, v, false, 0.0, tmp);

@@ -149,14 +149,7 @@ void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn,
     t(row, j + 1) = -sn * x + cs * y;
   }
   if (qTransposed) {
-    double* a = &q(j, 0);
-    double* b = &q(j + 1, 0);
-    const std::size_t qn = q.cols();
-    for (std::size_t col = 0; col < qn; ++col) {
-      const double qx = a[col], qy = b[col];
-      a[col] = cs * qx + sn * qy;
-      b[col] = -sn * qx + cs * qy;
-    }
+    planeRot(cs, sn, &q(j, 0), &q(j + 1, 0), q.cols());
   } else {
     for (std::size_t row = 0; row < q.rows(); ++row) {
       const double qx = q(row, j), qy = q(row, j + 1);
@@ -175,52 +168,62 @@ void applyRotation(Matrix& t, Matrix& q, std::size_t j, double cs, double sn,
 void applyWindowSimilarity(Matrix& t, Matrix& q, const Matrix& g,
                            std::size_t j, bool qTransposed = false) {
   const std::size_t w = g.rows(), n = t.rows();
-  double tmp[4];
+  // Local row-major copy of G: every element is touched ~n times below,
+  // and a flat stack array spares the operator() index math per read.
+  double gl[16];
+  for (std::size_t r = 0; r < w; ++r)
+    for (std::size_t c = 0; c < w; ++c) gl[r * 4 + c] = g(r, c);
+  double tmp[4], x[4];
   // Rows j..j+w-1 of T from column j rightward: T_rows <- G^T T_rows.
-  for (std::size_t c = j; c < n; ++c) {
-    for (std::size_t r = 0; r < w; ++r) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < w; ++k) s += g(k, r) * t(j + k, c);
-      tmp[r] = s;
+  // The w source rows are streamed through row pointers, each window
+  // column read once into x; the k-ascending sum is unchanged.
+  {
+    double* tr[4];
+    for (std::size_t k = 0; k < w; ++k) tr[k] = &t(j + k, 0);
+    for (std::size_t c = j; c < n; ++c) {
+      for (std::size_t k = 0; k < w; ++k) x[k] = tr[k][c];
+      for (std::size_t r = 0; r < w; ++r) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < w; ++k) s += gl[k * 4 + r] * x[k];
+        tmp[r] = s;
+      }
+      for (std::size_t r = 0; r < w; ++r) tr[r][c] = tmp[r];
     }
-    for (std::size_t r = 0; r < w; ++r) t(j + r, c) = tmp[r];
   }
-  // Columns j..j+w-1 of T down to row j+w-1: T_cols <- T_cols G.
+  // Columns j..j+w-1 of T down to row j+w-1: T_cols <- T_cols G. The w
+  // window entries of row r are contiguous; read once, write in place.
   for (std::size_t r = 0; r < j + w; ++r) {
+    double* pr = &t(r, j);
+    for (std::size_t k = 0; k < w; ++k) x[k] = pr[k];
     for (std::size_t c = 0; c < w; ++c) {
       double s = 0.0;
-      for (std::size_t k = 0; k < w; ++k) s += t(r, j + k) * g(k, c);
-      tmp[c] = s;
+      for (std::size_t k = 0; k < w; ++k) s += x[k] * gl[k * 4 + c];
+      pr[c] = s;
     }
-    for (std::size_t c = 0; c < w; ++c) t(r, j + c) = tmp[c];
   }
   // Q columns j..j+w-1, full height (as rows of Q^T when transposed;
   // same multiply/add sequence per element, so bit-identical results).
   if (qTransposed) {
     const std::size_t qn = q.cols();
-    constexpr std::size_t kChunk = 128;
-    double buf[4][kChunk];
-    for (std::size_t c0 = 0; c0 < qn; c0 += kChunk) {
-      const std::size_t len = std::min(kChunk, qn - c0);
+    double* qr[4];
+    for (std::size_t k = 0; k < w; ++k) qr[k] = &q(j + k, 0);
+    for (std::size_t i = 0; i < qn; ++i) {
+      for (std::size_t k = 0; k < w; ++k) x[k] = qr[k][i];
       for (std::size_t c = 0; c < w; ++c) {
-        for (std::size_t i = 0; i < len; ++i) {
-          double s = 0.0;
-          for (std::size_t k = 0; k < w; ++k)
-            s += q(j + k, c0 + i) * g(k, c);
-          buf[c][i] = s;
-        }
+        double s = 0.0;
+        for (std::size_t k = 0; k < w; ++k) s += x[k] * gl[k * 4 + c];
+        qr[c][i] = s;
       }
-      for (std::size_t c = 0; c < w; ++c)
-        for (std::size_t i = 0; i < len; ++i) q(j + c, c0 + i) = buf[c][i];
     }
   } else {
     for (std::size_t r = 0; r < n; ++r) {
+      double* pr = &q(r, j);
+      for (std::size_t k = 0; k < w; ++k) x[k] = pr[k];
       for (std::size_t c = 0; c < w; ++c) {
         double s = 0.0;
-        for (std::size_t k = 0; k < w; ++k) s += q(r, j + k) * g(k, c);
-        tmp[c] = s;
+        for (std::size_t k = 0; k < w; ++k) s += x[k] * gl[k * 4 + c];
+        pr[c] = s;
       }
-      for (std::size_t c = 0; c < w; ++c) q(r, j + c) = tmp[c];
     }
   }
 }

@@ -704,6 +704,16 @@ void gkSvdBlocked(const Matrix& aIn, std::vector<double>& sv, Matrix& u,
 
 }  // namespace
 
+namespace detail {
+
+void bidiagonalQrSweepTransposed(std::vector<double>& sv,
+                                 std::vector<double>& e, Matrix& ut,
+                                 Matrix& vt, bool withVectors) {
+  diagonalizeBidiagonalTransposed(sv, e, ut, vt, withVectors);
+}
+
+}  // namespace detail
+
 RankReport::RankReport()
     : minKeptMargin(std::numeric_limits<double>::infinity()) {}
 

@@ -175,4 +175,22 @@ Matrix kernel(const Matrix& a, double tol = -1.0);
 /// Convenience: Moore-Penrose pseudoinverse.
 Matrix pseudoInverse(const Matrix& a, double tol = -1.0);
 
+namespace detail {
+
+/// Implicit-shift QR diagonalization of an upper-bidiagonal core:
+/// `sv` holds the diagonal (length n), `e` the superdiagonal (length n,
+/// with e[n-1] == 0 as the sentinel the sweep expects). Factors are
+/// accumulated on TRANSPOSED layouts — row j of `ut` is column j of U,
+/// row j of `vt` is column j of V — so the Givens stream touches
+/// contiguous rows. On return `sv` is sorted descending with
+/// nonnegative entries. This is the rotation engine of the blocked SVD
+/// kernel, exposed for linalg/staircase.cpp, whose skew-tridiagonal
+/// compression reduces E1 to a half-size bidiagonal core and reuses the
+/// exact same sweep (one implementation, one set of deflation criteria).
+void bidiagonalQrSweepTransposed(std::vector<double>& sv,
+                                 std::vector<double>& e, Matrix& ut,
+                                 Matrix& vt, bool withVectors = true);
+
+}  // namespace detail
+
 }  // namespace shhpass::linalg

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "linalg/blas.hpp"
+
 namespace shhpass::shh {
 
 using linalg::Matrix;
@@ -46,58 +48,36 @@ void applySymplecticHouseholder(Matrix& w, Matrix& z, std::size_t n,
   // Rows of the top half (full width: W11 and W12 are both maintained).
   {
     std::fill(s.begin(), s.end(), 0.0);
-    for (std::size_t i = 0; i < len; ++i) {
-      const double vi = v[i];
-      const double* row = &w(k0 + i, 0);
-      for (std::size_t j = 0; j < n2; ++j) s[j] += vi * row[j];
-    }
+    for (std::size_t i = 0; i < len; ++i)
+      linalg::axpy(v[i], &w(k0 + i, 0), n2, s.data());
     for (std::size_t j = 0; j < n2; ++j) s[j] *= beta;
-    for (std::size_t i = 0; i < len; ++i) {
-      const double vi = v[i];
-      double* row = &w(k0 + i, 0);
-      for (std::size_t j = 0; j < n2; ++j) row[j] -= s[j] * vi;
-    }
+    for (std::size_t i = 0; i < len; ++i)
+      linalg::axpy(-v[i], s.data(), n2, &w(k0 + i, 0));
   }
   // Rows of the bottom half, left columns only (W21; the W22 part is not
   // maintained).
   {
     std::fill(s.begin(), s.begin() + n, 0.0);
-    for (std::size_t i = 0; i < len; ++i) {
-      const double vi = v[i];
-      const double* row = &w(n + k0 + i, 0);
-      for (std::size_t j = 0; j < n; ++j) s[j] += vi * row[j];
-    }
+    for (std::size_t i = 0; i < len; ++i)
+      linalg::axpy(v[i], &w(n + k0 + i, 0), n, s.data());
     for (std::size_t j = 0; j < n; ++j) s[j] *= beta;
-    for (std::size_t i = 0; i < len; ++i) {
-      const double vi = v[i];
-      double* row = &w(n + k0 + i, 0);
-      for (std::size_t j = 0; j < n; ++j) row[j] -= s[j] * vi;
-    }
+    for (std::size_t i = 0; i < len; ++i)
+      linalg::axpy(-v[i], s.data(), n, &w(n + k0 + i, 0));
   }
   // Columns: left-half columns over all rows (W11 and W21), right-half
   // columns over the top rows only (W12; the W22 part is not maintained).
-  for (std::size_t i = 0; i < n2; ++i) {
-    double acc = 0.0;
-    for (std::size_t jj = 0; jj < len; ++jj) acc += v[jj] * w(i, k0 + jj);
-    acc *= beta;
-    for (std::size_t jj = 0; jj < len; ++jj) w(i, k0 + jj) -= acc * v[jj];
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::size_t jj = 0; jj < len; ++jj) acc += v[jj] * w(i, n + k0 + jj);
-    acc *= beta;
-    for (std::size_t jj = 0; jj < len; ++jj) w(i, n + k0 + jj) -= acc * v[jj];
-  }
+  // Each row dot goes through dotQuad (fixed four-accumulator reduction
+  // order, per-machine AVX2 dispatch — deterministic, just not
+  // bit-identical to a single-accumulator loop).
+  const auto reflectRowSegment = [&v, beta, len](double* seg) {
+    const double acc = linalg::dotQuad(v.data(), seg, len) * beta;
+    linalg::axpy(-acc, v.data(), len, seg);
+  };
+  for (std::size_t i = 0; i < n2; ++i) reflectRowSegment(&w(i, k0));
+  for (std::size_t i = 0; i < n; ++i) reflectRowSegment(&w(i, n + k0));
   // Z accumulation, top rows only (both half column ranges).
   for (std::size_t off : {std::size_t{0}, n}) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (std::size_t jj = 0; jj < len; ++jj)
-        acc += v[jj] * z(i, off + k0 + jj);
-      acc *= beta;
-      for (std::size_t jj = 0; jj < len; ++jj)
-        z(i, off + k0 + jj) -= acc * v[jj];
-    }
+    for (std::size_t i = 0; i < n; ++i) reflectRowSegment(&z(i, off + k0));
   }
 }
 

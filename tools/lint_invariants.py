@@ -49,6 +49,18 @@ no-reinterpret-cast
     the vetted-SIMD waiver comment `lint-ok: simd-microkernel` (the only
     legitimate use is pointer re-typing inside a SIMD micro-kernel).
 
+rank-tol-literal
+    A positive floating-point literal passed as a tolerance to a
+    rank-decision call (`rank(`, `nullspace(`, `kernel(`,
+    `orthonormalRange(`) is banned in src/ outside src/linalg/svd.cpp
+    (the shared-policy implementation itself). Hard-coded cutoffs are
+    how the three deflation stages historically drifted apart; every
+    rank decision must flow through resolveRankTol (svd.hpp) — thread a
+    rankTol parameter or pass the -1.0 policy sentinel. Waive with
+    `lint-ok: rank-tol-literal` on the offending line or the line
+    directly above (this rule only; the justification comment usually
+    wants the room).
+
 tsan-supp-clean
     tools/tsan.supp must stay empty of project-owned frames: a
     suppression matching src/, tests/, or a shhpass symbol hides a real
@@ -79,6 +91,7 @@ RULE_IDS = (
     "oracle-pairing",
     "oracle-test-coverage",
     "no-reinterpret-cast",
+    "rank-tol-literal",
     "tsan-supp-clean",
 )
 
@@ -196,6 +209,14 @@ UNORDERED_RE = re.compile(r"\bstd\s*::\s*unordered_(map|set|multimap|multiset)\b
 DISTRIBUTION_RE = re.compile(r"\bstd\s*::\s*\w*_distribution\b")
 THROW_RE = re.compile(r"\bthrow\b")
 REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
+# A rank-decision call whose argument list carries a positive floating
+# literal (decimal point or exponent) before the closing paren. The -1.0
+# policy sentinel is excluded by the leading-minus lookbehind; pure
+# integer arguments (e.g. index accessors) never match.
+RANK_TOL_LITERAL_RE = re.compile(
+    r"\b(?:rank|nullspace|kernel|orthonormalRange)\s*\([^)]*?"
+    r"(?<![\w.])(?<!-)(?:\d+\.\d*(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\.\d+)"
+)
 # Namespace-scope kernel declarations: an unindented declarator line whose
 # function name carries one of the kernel suffixes. Class members are
 # indented and therefore ignored.
@@ -249,6 +270,32 @@ def check_no_reinterpret_cast(root: str) -> List[Finding]:
             "reinterpret_cast banned in src/linalg outside vetted SIMD "
             "micro-kernels (waive with `lint-ok: no-reinterpret-cast` "
             "comment `lint-ok: simd-microkernel` only inside one)")
+    return findings
+
+
+def check_rank_tol_literal(root: str) -> List[Finding]:
+    findings = []
+    for path in _cpp_files(root, ("src",)):
+        rel = _rel(root, path)
+        if rel == "src/linalg/svd.cpp":
+            continue  # the shared-policy implementation defines the default
+        raw_lines = _read(path).splitlines()
+        stripped_lines = strip_comments_and_strings(_read(path)).splitlines()
+        for lineno, line in enumerate(stripped_lines, start=1):
+            if not RANK_TOL_LITERAL_RE.search(line):
+                continue
+            here = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            above = raw_lines[lineno - 2] if lineno >= 2 else ""
+            if (_waived(here, "rank-tol-literal")
+                    or _waived(above, "rank-tol-literal")):
+                continue
+            findings.append(Finding(
+                "rank-tol-literal", rel, lineno,
+                "numeric-literal rank tolerance bypasses the shared "
+                "resolveRankTol policy (svd.hpp); thread a rankTol "
+                "parameter or pass the -1.0 policy sentinel (waive with "
+                "`lint-ok: rank-tol-literal` on or directly above the "
+                "line)"))
     return findings
 
 
@@ -321,6 +368,7 @@ CHECKS = (
     check_no_throw_in_api,
     check_oracle_rules,
     check_no_reinterpret_cast,
+    check_rank_tol_literal,
     check_tsan_supp_clean,
 )
 

@@ -96,6 +96,23 @@ void f(void* q) {
 }
 """), 4)
 
+    # rank-tol-literal: one bare literal tolerance fires; the -1.0 policy
+    # sentinel, a named tolerance, same-line and previous-line waivers,
+    # and the src/linalg/svd.cpp policy implementation are all exempt.
+    planted["rank-tol-literal"] = (write(root, "src/core/bad_rank.cpp", """
+struct S { int rank(double, void* = 0); int nullspace(double); };
+int a = S().rank(-1.0);                   // policy sentinel: fine
+int b = S().nullspace(gTol);              // named tolerance: fine
+int c = S().rank(1e-8);  // lint-ok: rank-tol-literal
+// tolerance documented here  lint-ok: rank-tol-literal
+int d = S().nullspace(1e-9);
+int bad = S().rank(3e-10);
+"""), 8)
+    write(root, "src/linalg/svd.cpp", """
+std::size_t rank(const Matrix& a, double tol = -1.0);
+std::size_t r = rank(a, 1e-12);  // policy implementation: exempt
+""")
+
     # tsan-supp-clean: a project-owned suppression fires; comments and a
     # third-party suppression do not.
     planted["tsan-supp-clean"] = (write(root, "tools/tsan.supp", """\

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Validate a BENCH_pipeline.json file against the documented schema.
 
-Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 3: version 2
-plus the schur kernel rows and the per-pipeline-row schur eigensolver
-health object). Stdlib only — CI runs this after the bench smoke job
-with no pip installs.
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 4: version 3
+plus the per-pipeline-row staircase deflation-chain health object and the
+deflation-chain kernel rows, on which the staircase >= 1.5x SVD-chain
+speedup floor at order 256 is enforced). Stdlib only — CI runs this after
+the bench smoke job with no pip installs.
 
 Usage: validate_bench_json.py PATH [--expect-order N]...
 Exit status 0 when the file conforms, 1 with a diagnostic otherwise.
@@ -64,7 +65,7 @@ def main():
 
     require(doc.get("schema") == "shhpass-bench-pipeline",
             f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
-    require(doc.get("schemaVersion") == 3,
+    require(doc.get("schemaVersion") == 4,
             f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
     require(doc.get("timeUnit") == "seconds",
             f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
@@ -113,6 +114,13 @@ def main():
         for key in ("sweeps", "aedWindows", "aedDeflations", "shiftsApplied",
                     "iterations"):
             check_number(schur, key, f"{ctx}.schur", minimum=0)
+        staircase = row.get("staircase")
+        require(isinstance(staircase, dict),
+                f"{ctx}: missing 'staircase' object")
+        for key in ("compressions", "svdFallbacks", "diagonalFastPaths",
+                    "qrCompressions", "skewTridiagonalizations",
+                    "reusedCompressions", "chainLength", "truncatedSteps"):
+            check_number(staircase, key, f"{ctx}.staircase", minimum=0)
 
     for order in args.expect_order:
         require(order in seen_orders,
@@ -139,6 +147,23 @@ def main():
             f"kernels must cover svd unblocked+blocked, got {variants}")
     require({"unblocked", "multishift"} <= variants.get("schur", set()),
             f"kernels must cover schur unblocked+multishift, got {variants}")
+    require({"staircase", "svd-chain"} <= variants.get("deflation-chain",
+                                                       set()),
+            f"kernels must cover deflation-chain staircase+svd-chain, "
+            f"got {variants}")
+
+    # Bench-smoke performance floor: the one-pass staircase chain must
+    # beat the legacy SVD chain by at least 1.5x at order 256 (the
+    # smallest order the Auto dispatch routes to the staircase path).
+    chain = {row["variant"]: row["seconds"]
+             for row in kernels
+             if row["kernel"] == "deflation-chain" and row["n"] == 256}
+    require({"staircase", "svd-chain"} <= set(chain),
+            "deflation-chain kernel rows at n=256 are required")
+    require(chain["staircase"] * 1.5 <= chain["svd-chain"],
+            f"staircase deflation chain ({chain['staircase']:.4f}s) is not "
+            f">= 1.5x faster than the SVD chain ({chain['svd-chain']:.4f}s) "
+            f"at order 256")
 
     print(f"validate_bench_json: OK: {args.path} "
           f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows)")
