@@ -33,8 +33,10 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/analyzer.hpp"
 #include "api/json.hpp"
 #include "bench_support.hpp"
 #include "core/impulse_deflation.hpp"
@@ -72,11 +74,13 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> orders = {100, 200, 400, 800};
   int reps = 3;
   std::size_t threads = 1;
+  bool quick = false;
   std::string outPath = "BENCH_pipeline.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       orders = {100};
+      quick = true;
     } else if (arg == "--reps" && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -94,7 +98,7 @@ int main(int argc, char** argv) {
   api::json::Writer w;
   w.beginObject();
   w.key("schema").value("shhpass-bench-pipeline");
-  w.key("schemaVersion").value(std::size_t{4});
+  w.key("schemaVersion").value(std::size_t{5});
   w.key("timeUnit").value("seconds");
   w.key("gemmThreads").value(linalg::gemmThreads());
   w.key("reps").value(static_cast<std::size_t>(reps));
@@ -255,6 +259,102 @@ int main(int argc, char** argv) {
     w.endObject();
   }
   w.endArray();
+
+  // ------------------------------------------------ batch throughput (v5)
+  // Mixed-order batch through the two-level scheduler: level 2 shards the
+  // batch across work-stealing workers with per-shard gemm budgets, and
+  // level 1 runs each analysis's stages as a dependency-ordered graph.
+  // The baseline is the same batch through runBatch with one worker and
+  // the sequential stage pipeline. Both runs are best-of-reps; the
+  // scheduled results must decisionEquals the sequential ones item by
+  // item (decisionMismatches is committed and must be 0 — the
+  // determinism contract measured, not assumed). validate_bench_json.py
+  // enforces speedup >= 2.0 only when the recorded hardwareThreads >= 8,
+  // so rows from small machines stay honest without failing the gate.
+  {
+    const std::vector<std::size_t> batchOrders =
+        quick ? std::vector<std::size_t>{40, 40, 56, 56, 96, 120}
+              : std::vector<std::size_t>{40,  40,  40,  40,  56,  56,
+                                         56,  96,  96,  96,  120, 120,
+                                         120, 224, 224, 300};
+    std::vector<api::AnalysisRequest> requests;
+    requests.reserve(batchOrders.size());
+    for (std::size_t i = 0; i < batchOrders.size(); ++i) {
+      api::AnalysisRequest rq;
+      rq.id = "mix-" + std::to_string(i);
+      rq.system = circuits::makeBenchmarkModel(batchOrders[i], i % 2 == 0);
+      requests.push_back(std::move(rq));
+    }
+
+    api::AnalyzerOptions seqOpts;
+    seqOpts.threads = 1;
+    const api::PassivityAnalyzer seqAnalyzer(seqOpts);
+    std::vector<api::Result<api::AnalysisReport>> seqResults;
+    double seqBest = 1e300;
+    for (int r0 = 0; r0 < reps; ++r0)
+      seqBest = std::min(seqBest, bench::timeSeconds([&] {
+                           seqResults = seqAnalyzer.runBatch(requests);
+                         }));
+
+    api::AnalyzerOptions schedOpts;
+    schedOpts.threads = 0;  // hardware concurrency
+    schedOpts.stageGraph = true;
+    const api::PassivityAnalyzer schedAnalyzer(schedOpts);
+    std::vector<api::Result<api::AnalysisReport>> schedResults;
+    double schedBest = 1e300;
+    for (int r0 = 0; r0 < reps; ++r0)
+      schedBest = std::min(schedBest, bench::timeSeconds([&] {
+                             schedResults = schedAnalyzer.runBatch(requests);
+                           }));
+
+    std::size_t mismatches = 0;
+    std::size_t batchSteals = 0, batchShards = 0, batchWorkers = 1;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!seqResults[i].ok() || !schedResults[i].ok() ||
+          !seqResults[i]->decisionEquals(*schedResults[i]))
+        ++mismatches;
+      if (schedResults[i].ok()) {
+        batchSteals = schedResults[i]->scheduler.batchSteals;
+        batchShards = schedResults[i]->scheduler.batchShards;
+        batchWorkers = schedResults[i]->scheduler.batchWorkers;
+      }
+    }
+    const std::size_t items = requests.size();
+    const double seqRate = static_cast<double>(items) / seqBest;
+    const double schedRate = static_cast<double>(items) / schedBest;
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+    std::printf(
+        "\nbatch-throughput: %zu analyses, %zu workers (hw=%zu): "
+        "%.2f/s sequential -> %.2f/s scheduled (%.2fx), "
+        "%zu shards, %zu steals, %zu mismatches\n",
+        items, batchWorkers, hw, seqRate, schedRate, seqBest / schedBest,
+        batchShards, batchSteals, mismatches);
+
+    w.key("batchThroughput").beginObject();
+    w.key("items").value(items);
+    w.key("orders").beginArray();
+    for (std::size_t o : batchOrders) w.value(o);
+    w.endArray();
+    w.key("hardwareThreads").value(hw);
+    w.key("sequential").beginObject();
+    w.key("workers").value(std::size_t{1});
+    w.key("seconds").value(seqBest);
+    w.key("analysesPerSecond").value(seqRate);
+    w.endObject();
+    w.key("scheduled").beginObject();
+    w.key("workers").value(batchWorkers);
+    w.key("stageGraph").value(true);
+    w.key("batchShards").value(batchShards);
+    w.key("batchSteals").value(batchSteals);
+    w.key("seconds").value(schedBest);
+    w.key("analysesPerSecond").value(schedRate);
+    w.endObject();
+    w.key("speedup").value(seqBest / schedBest);
+    w.key("decisionMismatches").value(mismatches);
+    w.endObject();
+  }
   w.endObject();
 
   std::FILE* f = std::fopen(outPath.c_str(), "w");

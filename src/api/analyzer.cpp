@@ -1,11 +1,14 @@
 #include "api/analyzer.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <utility>
 
 #include "api/json.hpp"
 #include "api/thread_pool.hpp"
+#include "linalg/blas.hpp"
 
 namespace shhpass::api {
 
@@ -108,6 +111,22 @@ std::string AnalysisReport::toJson() const {
   w.key("chainLength").value(staircase.chainLength);
   w.key("truncatedSteps").value(staircase.truncatedSteps);
   w.endObject();
+  w.key("scheduler").beginObject();
+  w.key("scheduled").value(scheduler.scheduled);
+  w.key("shard").value(scheduler.shard);
+  w.key("shardItems").value(scheduler.shardItems);
+  w.key("large").value(scheduler.large);
+  w.key("gemmThreadsGranted").value(scheduler.gemmThreadsGranted);
+  w.key("stolen").value(scheduler.stolen);
+  w.key("batchShards").value(scheduler.batchShards);
+  w.key("batchWorkers").value(scheduler.batchWorkers);
+  w.key("batchSteals").value(scheduler.batchSteals);
+  w.key("stageGraph").value(scheduler.stageGraph);
+  w.key("stageGraphExecuted").value(scheduler.stageGraphExecuted);
+  w.key("stageGraphSkipped").value(scheduler.stageGraphSkipped);
+  w.key("stageGraphCriticalPathSeconds")
+      .value(scheduler.stageGraphCriticalPathSeconds);
+  w.endObject();
   w.endObject();
   w.key("warnings").beginArray();
   for (Warning warn : warnings) w.value(warningName(warn));
@@ -128,7 +147,15 @@ std::string AnalysisReport::toJson() const {
 }
 
 PassivityAnalyzer::PassivityAnalyzer(AnalyzerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // Process-wide override so CI (and users) can drive every analysis
+  // through the level-1 stage graph without touching call sites; by the
+  // runGraph contract the setting can never change decisions, only
+  // scheduling — exactly like SHHPASS_GEMM_THREADS one layer down.
+  const char* env = std::getenv("SHHPASS_STAGE_GRAPH");
+  if (env != nullptr && std::strcmp(env, "0") != 0)
+    options_.stageGraph = true;
+}
 
 void PassivityAnalyzer::setStageObserver(Pipeline::Observer observer) {
   std::lock_guard<std::mutex> lock(observerMu_);
@@ -138,14 +165,14 @@ void PassivityAnalyzer::setStageObserver(Pipeline::Observer observer) {
 Result<AnalysisReport> PassivityAnalyzer::analyze(
     const ds::DescriptorSystem& system) const {
   return analyzeImpl(system, options_.passivity, std::string(),
-                     /*notifyObserver=*/true);
+                     /*notifyObserver=*/true, /*gemmBudget=*/0);
 }
 
 Result<AnalysisReport> PassivityAnalyzer::analyze(
     const AnalysisRequest& request) const {
   return analyzeImpl(request.system,
                      request.options ? *request.options : options_.passivity,
-                     request.id, /*notifyObserver=*/true);
+                     request.id, /*notifyObserver=*/true, /*gemmBudget=*/0);
 }
 
 std::vector<Result<AnalysisReport>> PassivityAnalyzer::runBatch(
@@ -158,26 +185,77 @@ std::vector<Result<AnalysisReport>> PassivityAnalyzer::runBatch(
   std::size_t threads = options_.threads;
   if (threads == 0)
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  ThreadPool pool(std::min(threads, requests.size()));
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    pool.submit([this, &requests, &results, i] {
-      // analyzeImpl is exception-free (Status-based) by construction, so
-      // the job cannot throw across the pool boundary. The observer is
-      // skipped: per-stage traces land in the report instead.
-      results[i] =
-          analyzeImpl(requests[i].system,
-                      requests[i].options ? *requests[i].options
-                                          : options_.passivity,
-                      requests[i].id, /*notifyObserver=*/false);
-    });
+  const std::size_t workers = std::min(threads, requests.size());
+
+  // Level 2: deterministic shard plan over the item orders (pure
+  // function of orders + options, never of `workers` — the plan fields
+  // in every report are identical for every worker count).
+  std::vector<std::size_t> orders(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    orders[i] = requests[i].system.order();
+  SchedulerOptions sopts = options_.scheduler;
+  sopts.workers = workers;
+  const std::vector<Shard> plan = planShards(orders, sopts);
+
+  // Per-item plan records, filled before execution so they are shared
+  // read-only with the workers; `stolen` is the one field a worker
+  // writes, and only for items of shards it runs (disjoint ownership).
+  const std::size_t kernelWidth = std::max<std::size_t>(
+      1, linalg::gemmThreads());
+  std::vector<SchedulerReport> sched(requests.size());
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    for (std::size_t item : plan[s].items) {
+      sched[item].scheduled = true;
+      sched[item].shard = s;
+      sched[item].shardItems = plan[s].items.size();
+      sched[item].large = plan[s].large;
+      sched[item].gemmThreadsGranted =
+          plan[s].gemmBudget == 0 ? kernelWidth
+                                  : std::min(plan[s].gemmBudget, kernelWidth);
+      sched[item].batchShards = plan.size();
+      sched[item].batchWorkers = workers;
+    }
   }
-  pool.wait();
+
+  // analyzeImpl is exception-free (Status-based) by construction, so the
+  // body cannot throw across the scheduler boundary. The observer is
+  // skipped: per-stage traces land in the report instead. Each item
+  // writes only results[item] / sched[item] — item-indexed slots are what
+  // keep report and trace ordering deterministic under stealing.
+  const std::size_t steals = runSharded(
+      plan, workers,
+      [this, &requests, &results, &sched, &plan](
+          std::size_t item, std::size_t shardIndex, bool stolen) {
+        sched[item].stolen = stolen;
+        results[item] = analyzeImpl(
+            requests[item].system,
+            requests[item].options ? *requests[item].options
+                                   : options_.passivity,
+            requests[item].id, /*notifyObserver=*/false,
+            plan[shardIndex].gemmBudget);
+      },
+      sopts.packFirstWorker);
+
+  // Stamp the scheduling record into each successful report, preserving
+  // the level-1 stage-graph fields analyzeImpl already recorded.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].ok()) continue;
+    AnalysisReport& report = results[i].value();
+    sched[i].batchSteals = steals;
+    sched[i].stageGraph = report.scheduler.stageGraph;
+    sched[i].stageGraphExecuted = report.scheduler.stageGraphExecuted;
+    sched[i].stageGraphSkipped = report.scheduler.stageGraphSkipped;
+    sched[i].stageGraphCriticalPathSeconds =
+        report.scheduler.stageGraphCriticalPathSeconds;
+    report.scheduler = sched[i];
+  }
   return results;
 }
 
 Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
     const ds::DescriptorSystem& system, const core::PassivityOptions& opts,
-    const std::string& id, bool notifyObserver) const {
+    const std::string& id, bool notifyObserver,
+    std::size_t gemmBudget) const {
   const Pipeline& pipeline = standardPipeline();
 
   PipelineState state;
@@ -194,7 +272,22 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
     std::lock_guard<std::mutex> lock(observerMu_);
     observer = observer_;
   }
-  const Status status = pipeline.run(state, &report.stages, observer);
+  Status status;
+  if (options_.stageGraph) {
+    // Level 1: dependency-ordered stage execution. Bit-identical
+    // decisions to the sequential path by the runGraph contract.
+    ThreadPool graphPool(std::max<std::size_t>(1, options_.stageGraphThreads));
+    StageGraphReport graph;
+    status = pipeline.runGraph(state, &report.stages, graphPool, &graph,
+                               observer, gemmBudget);
+    report.scheduler.stageGraph = graph.used;
+    report.scheduler.stageGraphExecuted = graph.executedStages;
+    report.scheduler.stageGraphSkipped = graph.skippedStages;
+    report.scheduler.stageGraphCriticalPathSeconds =
+        graph.criticalPathSeconds;
+  } else {
+    status = pipeline.run(state, &report.stages, observer);
+  }
   if (!status.ok() && !isVerdictCode(status.code()))
     return Result<AnalysisReport>(status);
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "api/pipeline.hpp"
+#include "api/scheduler.hpp"
 #include "api/status.hpp"
 #include "ds/descriptor.hpp"
 #include "linalg/schur_multishift.hpp"
@@ -75,11 +76,20 @@ struct AnalysisReport {
   // Execution record.
   std::vector<StageTrace> stages;  ///< One trace per executed stage.
   double totalSeconds = 0.0;
+  /// How the two-level scheduler ran this analysis (shard plan slot,
+  /// kernel budget, steal/stage-graph records — api/scheduler.hpp).
+  /// Default-initialized for plain sequential analyze() calls. Like
+  /// totalSeconds this is an EXECUTION record: decisionEquals ignores it
+  /// entirely (steal counts and critical paths are timing-dependent; the
+  /// plan fields are deterministic but describe scheduling, not the
+  /// Fig.-1 decision path).
+  SchedulerReport scheduler;
 
   /// Decision-path equality: every field that reflects WHAT was decided
   /// (verdict, diagnostics, M1, per-stage statuses) — everything except
-  /// wall-clock timings. Batch results must decisionEquals their
-  /// sequential single-shot counterparts.
+  /// wall-clock timings and the scheduler execution record. Batch
+  /// results must decisionEquals their sequential single-shot
+  /// counterparts, for every worker count and steal schedule.
   bool decisionEquals(const AnalysisReport& other) const;
 
   /// Compact JSON serialization of the full decision path (service wire
@@ -92,6 +102,19 @@ struct AnalyzerOptions {
   core::PassivityOptions passivity;  ///< Default per-analysis options.
   std::size_t threads = 0;  ///< Worker threads for runBatch; 0 = hardware
                             ///< concurrency.
+  /// Level-2 shard scheduling knobs for runBatch (the `workers` field is
+  /// overridden per batch from `threads` and the batch size).
+  SchedulerOptions scheduler;
+  /// Level-1: run each analysis's Fig.-1 stages as a dependency-ordered
+  /// task graph (Pipeline::runGraph) instead of sequentially. Decisions
+  /// are bit-identical either way (the runGraph contract); this trades
+  /// stageGraphThreads extra threads per in-flight analysis for stage
+  /// overlap. Also forced on process-wide by the environment variable
+  /// SHHPASS_STAGE_GRAPH (any value but "0"), read once at analyzer
+  /// construction — the tsan CI job drives the whole suite through the
+  /// graph path this way.
+  bool stageGraph = false;
+  std::size_t stageGraphThreads = 2;  ///< Pool width per stage graph.
 };
 
 /// The engine facade. Thread-compatible: one analyzer may serve concurrent
@@ -121,9 +144,15 @@ class PassivityAnalyzer {
   /// Analyze one request (honoring its option overrides and id).
   Result<AnalysisReport> analyze(const AnalysisRequest& request) const;
 
-  /// Analyze many systems on an internal thread pool. Results are in
-  /// request order; element i is exactly what analyze(requests[i]) would
-  /// return (up to wall-clock timings).
+  /// Analyze many systems on the work-stealing shard scheduler
+  /// (api/scheduler.hpp): the batch is planned into shards (large-order
+  /// items get kernel-thread budgets, small items share batch slots),
+  /// workers steal across shards, and results land in request order —
+  /// element i decisionEquals what analyze(requests[i]) returns, for
+  /// every worker count and steal schedule. Per-item StageTraces are
+  /// owned by item-indexed report slots (never shared across items), so
+  /// trace ordering inside each report is the canonical stage order
+  /// regardless of concurrency.
   std::vector<Result<AnalysisReport>> runBatch(
       std::span<const AnalysisRequest> requests) const;
 
@@ -131,7 +160,8 @@ class PassivityAnalyzer {
   Result<AnalysisReport> analyzeImpl(const ds::DescriptorSystem& system,
                                      const core::PassivityOptions& opts,
                                      const std::string& id,
-                                     bool notifyObserver) const;
+                                     bool notifyObserver,
+                                     std::size_t gemmBudget) const;
 
   AnalyzerOptions options_;
   mutable std::mutex observerMu_;  ///< Guards observer_ (set vs snapshot).

@@ -1,0 +1,131 @@
+#include "api/scheduler.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "linalg/blas.hpp"
+
+namespace shhpass::api {
+
+std::vector<Shard> planShards(const std::vector<std::size_t>& orders,
+                              const SchedulerOptions& options) {
+  const std::size_t groupSize =
+      options.smallShardSize == 0 ? 1 : options.smallShardSize;
+  std::vector<Shard> plan;
+  Shard small;
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    if (orders[i] >= options.largeOrderFloor) {
+      Shard big;
+      big.items.push_back(i);
+      big.large = true;
+      // 0 = configured kernel width applies uncapped; any positive value
+      // caps it (linalg::GemmThreadBudgetScope semantics).
+      big.gemmBudget = options.gemmBudget;
+      plan.push_back(std::move(big));
+      continue;
+    }
+    small.items.push_back(i);
+    if (small.items.size() == groupSize) {
+      plan.push_back(std::move(small));
+      small = Shard{};
+    }
+  }
+  if (!small.items.empty()) plan.push_back(std::move(small));
+  return plan;
+}
+
+namespace {
+
+/// Per-worker deque of shard indices. Owners pop the FRONT (preserving
+/// plan order on their home run), thieves steal from the BACK (classic
+/// Chase-Lev orientation, minimizing contention on the owner's end) —
+/// but with a plain mutex per deque: batch shards are coarse (whole
+/// analyses), so queue operations are noise and the simple locking keeps
+/// the structure trivially TSan-clean.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<std::size_t> shards;
+};
+
+}  // namespace
+
+std::size_t runSharded(
+    const std::vector<Shard>& plan, std::size_t workers,
+    const std::function<void(std::size_t item, std::size_t shardIndex,
+                             bool stolen)>& body,
+    bool packFirstWorker) {
+  if (plan.empty()) return 0;
+  if (workers == 0) workers = 1;
+
+  std::vector<WorkerQueue> queues(workers);
+  std::vector<std::size_t> home(plan.size());
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    home[s] = packFirstWorker ? 0 : s % workers;
+    queues[home[s]].shards.push_back(s);
+  }
+
+  std::atomic<std::size_t> steals{0};
+  std::mutex errorMu;
+  std::exception_ptr firstError;
+
+  // No shard is ever re-enqueued, so a worker may exit as soon as one
+  // full scan (own queue + every victim) finds nothing: no new work can
+  // appear after that point.
+  auto workerLoop = [&](std::size_t self) {
+    for (;;) {
+      std::size_t shardIndex = plan.size();  // sentinel
+      bool stolen = false;
+      {
+        std::lock_guard<std::mutex> lock(queues[self].mu);
+        if (!queues[self].shards.empty()) {
+          shardIndex = queues[self].shards.front();
+          queues[self].shards.pop_front();
+        }
+      }
+      if (shardIndex == plan.size()) {
+        for (std::size_t k = 1; k < workers && shardIndex == plan.size();
+             ++k) {
+          const std::size_t victim = (self + k) % workers;
+          std::lock_guard<std::mutex> lock(queues[victim].mu);
+          if (!queues[victim].shards.empty()) {
+            shardIndex = queues[victim].shards.back();
+            queues[victim].shards.pop_back();
+            stolen = true;
+          }
+        }
+        if (shardIndex == plan.size()) return;  // drained everywhere
+        steals.fetch_add(1, std::memory_order_relaxed);
+      }
+      const Shard& shard = plan[shardIndex];
+      // The shard's kernel budget is in force for every item it runs.
+      linalg::GemmThreadBudgetScope budget(shard.gemmBudget);
+      for (std::size_t item : shard.items) {
+        try {
+          body(item, shardIndex, stolen);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(errorMu);
+          if (!firstError) firstError = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Inline serial mode: identical code path, no crew. This is the
+    // oracle every worker count is compared against.
+    workerLoop(0);
+  } else {
+    std::vector<std::thread> crew;
+    crew.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      crew.emplace_back([&workerLoop, w] { workerLoop(w); });
+    for (std::thread& t : crew) t.join();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  return steals.load(std::memory_order_relaxed);
+}
+
+}  // namespace shhpass::api

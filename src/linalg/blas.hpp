@@ -136,6 +136,36 @@ std::size_t gemmThreads();
 /// started with alive until their panels drain.
 void setGemmThreads(std::size_t t);
 
+/// The calling thread's per-call gemm thread budget: 0 when no
+/// GemmThreadBudgetScope is active (the process-wide setGemmThreads
+/// setting applies unchanged).
+std::size_t gemmThreadBudget();
+
+/// RAII per-call kernel-thread budget — the level-2 scheduler's plumbing
+/// for per-shard thread budgeting (api/scheduler.hpp). While a scope with
+/// budget b > 0 is active on a thread, every gemm() issued FROM THAT
+/// THREAD fans out to at most min(b, setGemmThreads width) workers;
+/// b == 1 bypasses the kernel pool entirely for those calls (the shard
+/// keeps its batch slot and leaves the kernel threads to large-order
+/// shards). b == 0 means "no override". Scopes nest; the previous budget
+/// is restored on destruction.
+///
+/// The budget is thread-local, so it does NOT propagate into tasks the
+/// scoped thread submits to a ThreadPool — consumers that fan work out
+/// (the stage-graph runner) re-establish the budget inside each task.
+/// By the gemm determinism contract the budget can never change results,
+/// only scheduling; tests/test_scheduler_random.cpp pins this bitwise.
+class GemmThreadBudgetScope {
+ public:
+  explicit GemmThreadBudgetScope(std::size_t budget);
+  ~GemmThreadBudgetScope();
+  GemmThreadBudgetScope(const GemmThreadBudgetScope&) = delete;
+  GemmThreadBudgetScope& operator=(const GemmThreadBudgetScope&) = delete;
+
+ private:
+  std::size_t previous_;
+};
+
 /// Returns op(A) * op(B).
 Matrix multiply(const Matrix& a, bool transA, const Matrix& b, bool transB);
 

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Validate a BENCH_pipeline.json file against the documented schema.
 
-Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 4: version 3
-plus the per-pipeline-row staircase deflation-chain health object and the
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 5: version 4
+— the per-pipeline-row staircase deflation-chain health object and the
 deflation-chain kernel rows, on which the staircase >= 1.5x SVD-chain
-speedup floor at order 256 is enforced). Stdlib only — CI runs this after
-the bench smoke job with no pip installs.
+speedup floor at order 256 is enforced — plus the batchThroughput object
+from the two-level scheduler: mixed-order analyses/sec sequential vs
+scheduled, with decisionMismatches required to be exactly 0 and the
+speedup floor of 2.0x enforced when the recording machine had >= 8
+hardware threads). Stdlib only — CI runs this after the bench smoke job
+with no pip installs.
 
 Usage: validate_bench_json.py PATH [--expect-order N]...
 Exit status 0 when the file conforms, 1 with a diagnostic otherwise.
@@ -65,7 +69,7 @@ def main():
 
     require(doc.get("schema") == "shhpass-bench-pipeline",
             f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
-    require(doc.get("schemaVersion") == 4,
+    require(doc.get("schemaVersion") == 5,
             f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
     require(doc.get("timeUnit") == "seconds",
             f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
@@ -165,8 +169,56 @@ def main():
             f">= 1.5x faster than the SVD chain ({chain['svd-chain']:.4f}s) "
             f"at order 256")
 
+    # -------------------------------------------- batchThroughput (v5)
+    bt = doc.get("batchThroughput")
+    require(isinstance(bt, dict), "missing 'batchThroughput' object")
+    items = check_number(bt, "items", "batchThroughput", minimum=1)
+    orders = bt.get("orders")
+    require(isinstance(orders, list) and len(orders) == items,
+            "batchThroughput.orders must be an array of length 'items'")
+    require(len(set(orders)) >= 2,
+            "batchThroughput.orders must mix at least two distinct orders")
+    hw = check_number(bt, "hardwareThreads", "batchThroughput", minimum=1)
+    for leg in ("sequential", "scheduled"):
+        sub = bt.get(leg)
+        require(isinstance(sub, dict), f"batchThroughput.{leg} must be an "
+                                       f"object")
+        check_number(sub, "workers", f"batchThroughput.{leg}", minimum=1)
+        check_number(sub, "seconds", f"batchThroughput.{leg}", minimum=0.0)
+        check_number(sub, "analysesPerSecond", f"batchThroughput.{leg}",
+                     minimum=0.0)
+    require(bt["sequential"]["workers"] == 1,
+            "batchThroughput.sequential must record exactly 1 worker")
+    require(isinstance(bt["scheduled"].get("stageGraph"), bool),
+            "batchThroughput.scheduled: 'stageGraph' must be a bool")
+    check_number(bt["scheduled"], "batchShards", "batchThroughput.scheduled",
+                 minimum=1)
+    check_number(bt["scheduled"], "batchSteals", "batchThroughput.scheduled",
+                 minimum=0)
+    speedup = check_number(bt, "speedup", "batchThroughput", minimum=0.0)
+    mismatches = check_number(bt, "decisionMismatches", "batchThroughput",
+                              minimum=0)
+    # Determinism is unconditional: scheduled results must decisionEquals
+    # the sequential baseline on every machine, every worker count.
+    require(mismatches == 0,
+            f"batchThroughput.decisionMismatches = {mismatches} != 0 — "
+            f"the two-level scheduler changed a decision")
+    # The throughput floor is conditional on the recording machine: >= 2x
+    # with >= 8 hardware threads (the acceptance gate), else only a
+    # sanity floor that catches a pathological scheduler (overhead must
+    # not halve throughput even on a single core).
+    if hw >= 8:
+        require(speedup >= 2.0,
+                f"batchThroughput.speedup = {speedup:.2f} < 2.0 with "
+                f"{int(hw)} hardware threads")
+    else:
+        require(speedup >= 0.5,
+                f"batchThroughput.speedup = {speedup:.2f} < 0.5 — scheduler "
+                f"overhead is pathological even for {int(hw)} thread(s)")
+
     print(f"validate_bench_json: OK: {args.path} "
-          f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows)")
+          f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows, "
+          f"batch speedup {speedup:.2f}x @ {int(hw)} hw threads)")
 
 
 if __name__ == "__main__":
