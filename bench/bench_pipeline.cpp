@@ -39,6 +39,8 @@
 #include "api/analyzer.hpp"
 #include "api/json.hpp"
 #include "bench_support.hpp"
+#include "circuits/generators.hpp"
+#include "circuits/sweep.hpp"
 #include "core/impulse_deflation.hpp"
 #include "core/nondynamic.hpp"
 #include "core/phi_builder.hpp"
@@ -98,7 +100,7 @@ int main(int argc, char** argv) {
   api::json::Writer w;
   w.beginObject();
   w.key("schema").value("shhpass-bench-pipeline");
-  w.key("schemaVersion").value(std::size_t{5});
+  w.key("schemaVersion").value(std::size_t{6});
   w.key("timeUnit").value("seconds");
   w.key("gemmThreads").value(linalg::gemmThreads());
   w.key("reps").value(static_cast<std::size_t>(reps));
@@ -350,6 +352,98 @@ int main(int argc, char** argv) {
     w.key("batchSteals").value(batchSteals);
     w.key("seconds").value(schedBest);
     w.key("analysesPerSecond").value(schedRate);
+    w.endObject();
+    w.key("speedup").value(seqBest / schedBest);
+    w.key("decisionMismatches").value(mismatches);
+    w.endObject();
+  }
+
+  // ------------------------------------------------ sweep throughput (v6)
+  // Parametric-sweep workload (circuits/sweep.hpp): one RLC ladder
+  // netlist, its first R/L/C varied a decade in each direction, MNA
+  // stamped once with only the perturbed values re-stamped per point, and
+  // the whole point batch fanned through the work-stealing shard
+  // scheduler. The baseline is the identical sweep on a one-worker
+  // analyzer with the sequential stage pipeline. decisionMismatches
+  // compares the two runs slot by slot and is committed (must be 0).
+  {
+    circuits::LadderOptions ladder;
+    ladder.sections = 12;
+    ladder.capAtPort = true;
+    const circuits::Netlist net = circuits::makeRlcLadderNetlist(ladder);
+
+    circuits::SweepSpec spec;
+    spec.computeMargin = false;  // throughput of the decision path itself
+    const std::size_t pointsPerAxis = quick ? 4 : 6;
+    bool haveKind[3] = {false, false, false};
+    for (std::size_t k = 0; k < net.components().size(); ++k) {
+      const auto kind = static_cast<std::size_t>(net.components()[k].kind);
+      if (haveKind[kind]) continue;
+      haveKind[kind] = true;
+      spec.parameters.push_back({k, 1.0, 1.0, pointsPerAxis});
+    }
+
+    api::AnalyzerOptions seqOpts;
+    seqOpts.threads = 1;
+    const api::PassivityAnalyzer seqAnalyzer(seqOpts);
+    circuits::SweepResult seqSweep;
+    double seqBest = 1e300;
+    for (int r0 = 0; r0 < reps; ++r0)
+      seqBest = std::min(seqBest, bench::timeSeconds([&] {
+                           seqSweep =
+                               circuits::runSweep(net, spec, seqAnalyzer);
+                         }));
+
+    api::AnalyzerOptions schedOpts;
+    schedOpts.threads = 0;  // hardware concurrency
+    schedOpts.stageGraph = true;
+    const api::PassivityAnalyzer schedAnalyzer(schedOpts);
+    circuits::SweepResult schedSweep;
+    double schedBest = 1e300;
+    for (int r0 = 0; r0 < reps; ++r0)
+      schedBest = std::min(schedBest, bench::timeSeconds([&] {
+                             schedSweep =
+                                 circuits::runSweep(net, spec, schedAnalyzer);
+                           }));
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < seqSweep.points.size(); ++i) {
+      const circuits::SweepPointResult& a = seqSweep.points[i];
+      const circuits::SweepPointResult& b = schedSweep.points[i];
+      if (a.ok != b.ok || (a.ok && !a.report.decisionEquals(b.report)))
+        ++mismatches;
+    }
+    const std::size_t points = seqSweep.points.size();
+    const double seqRate = static_cast<double>(points) / seqBest;
+    const double schedRate = static_cast<double>(points) / schedBest;
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    const std::size_t order =
+        points > 0 && seqSweep.points[0].ok ? seqSweep.points[0].report.order
+                                            : 0;
+
+    std::printf(
+        "sweep-throughput: %zu points (order %zu, %zu axes): "
+        "%.2f/s sequential -> %.2f/s scheduled (%.2fx), %zu mismatches\n",
+        points, order, spec.parameters.size(), seqRate, schedRate,
+        seqBest / schedBest, mismatches);
+
+    w.key("sweepThroughput").beginObject();
+    w.key("points").value(points);
+    w.key("axes").value(spec.parameters.size());
+    w.key("pointsPerAxis").value(pointsPerAxis);
+    w.key("order").value(order);
+    w.key("passiveCount").value(seqSweep.passiveCount);
+    w.key("hardwareThreads").value(hw);
+    w.key("sequential").beginObject();
+    w.key("workers").value(std::size_t{1});
+    w.key("seconds").value(seqBest);
+    w.key("pointsPerSecond").value(seqRate);
+    w.endObject();
+    w.key("scheduled").beginObject();
+    w.key("stageGraph").value(true);
+    w.key("seconds").value(schedBest);
+    w.key("pointsPerSecond").value(schedRate);
     w.endObject();
     w.key("speedup").value(seqBest / schedBest);
     w.key("decisionMismatches").value(mismatches);

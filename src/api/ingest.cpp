@@ -1,0 +1,67 @@
+#include "api/ingest.hpp"
+
+#include <utility>
+
+#include "circuits/mna.hpp"
+
+namespace shhpass::api {
+
+namespace {
+
+/// Join the typed diagnostics of a failed parse into one Status message.
+Status parseFailure(const std::vector<circuits::SpiceError>& errors) {
+  std::string message;
+  for (const circuits::SpiceError& e : errors) {
+    if (!message.empty()) message += "; ";
+    message += e.toString();
+  }
+  return Status::error(ErrorCode::NetlistParseError, std::move(message));
+}
+
+Result<LoadedNetlist> fromParsed(circuits::ParsedNetlist parsed) {
+  if (!parsed.ok()) return parseFailure(parsed.errors);
+  LoadedNetlist loaded;
+  loaded.netlist = std::move(parsed.netlist);
+  loaded.nodeNames = std::move(parsed.nodeNames);
+  return loaded;
+}
+
+}  // namespace
+
+Result<LoadedNetlist> parseNetlist(std::string_view text,
+                                   const circuits::SpiceParseOptions& options) {
+  return fromParsed(circuits::parseSpice(text, options));
+}
+
+Result<LoadedNetlist> loadNetlist(const std::string& path,
+                                  const circuits::SpiceParseOptions& options) {
+  return fromParsed(circuits::parseSpiceFile(path, options));
+}
+
+Result<ds::DescriptorSystem> stampNetlist(const circuits::Netlist& net) {
+  try {
+    return circuits::stampMna(net);
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
+Result<ds::DescriptorSystem> loadSystem(
+    const std::string& path, const circuits::SpiceParseOptions& options) {
+  Result<LoadedNetlist> loaded = loadNetlist(path, options);
+  if (!loaded.ok()) return loaded.status();
+  return stampNetlist(loaded->netlist);
+}
+
+Result<circuits::Netlist> buildNetlist(
+    int numNodes, const std::function<void(circuits::Netlist&)>& build) {
+  try {
+    circuits::Netlist net(numNodes);
+    if (build) build(net);
+    return net;
+  } catch (...) {
+    return statusFromCurrentException();
+  }
+}
+
+}  // namespace shhpass::api

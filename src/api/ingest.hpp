@@ -1,0 +1,55 @@
+// Typed, no-throw netlist ingestion for the public API: SPICE-subset
+// text (circuits/spice_parser.hpp) in, Status/Result out. Parse failures
+// map to ErrorCode::NetlistParseError with every line-numbered typed
+// diagnostic joined into the message; builder/stamping failures map
+// through statusFromCurrentException like the rest of the API boundary
+// (the PR-6 no-throw-in-api contract).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/status.hpp"
+#include "circuits/netlist.hpp"
+#include "circuits/spice_parser.hpp"
+#include "ds/descriptor.hpp"
+
+namespace shhpass::api {
+
+/// A parsed netlist plus its node-name table (dense index -> source
+/// name; see circuits::ParsedNetlist::nodeNames).
+struct LoadedNetlist {
+  circuits::Netlist netlist{0};
+  std::vector<std::string> nodeNames;
+};
+
+/// Parse SPICE-subset netlist text. Never throws; a failed parse returns
+/// ErrorCode::NetlistParseError with the typed line-numbered diagnostics
+/// joined into the message ("line 3: [BAD_VALUE] ...; line 7: ...").
+Result<LoadedNetlist> parseNetlist(
+    std::string_view text, const circuits::SpiceParseOptions& options = {});
+
+/// Read and parse a netlist file. An unreadable file also reports
+/// NetlistParseError (with the FILE_ERROR diagnostic in the message).
+Result<LoadedNetlist> loadNetlist(
+    const std::string& path, const circuits::SpiceParseOptions& options = {});
+
+/// Stamp a netlist into its MNA impedance-form descriptor, mapping the
+/// builder/stamper throws (e.g. a portless netlist) onto Status.
+Result<ds::DescriptorSystem> stampNetlist(const circuits::Netlist& net);
+
+/// loadNetlist + stampNetlist in one step: netlist file -> analyzable
+/// descriptor system.
+Result<ds::DescriptorSystem> loadSystem(
+    const std::string& path, const circuits::SpiceParseOptions& options = {});
+
+/// Build a netlist programmatically behind the Status boundary: `build`
+/// runs against a fresh Netlist(numNodes) and every builder validation
+/// throw (shorted element, zero value, out-of-range node or port) comes
+/// back as a typed Status instead of a raw std::invalid_argument.
+Result<circuits::Netlist> buildNetlist(
+    int numNodes, const std::function<void(circuits::Netlist&)>& build);
+
+}  // namespace shhpass::api

@@ -18,6 +18,7 @@
 
 // Engine facade and error model.
 #include "api/analyzer.hpp"
+#include "api/ingest.hpp"
 #include "api/json.hpp"
 #include "api/pipeline.hpp"
 #include "api/status.hpp"
@@ -26,6 +27,8 @@
 #include "circuits/generators.hpp"
 #include "circuits/mna.hpp"
 #include "circuits/netlist.hpp"
+#include "circuits/spice_parser.hpp"
+#include "circuits/sweep.hpp"
 #include "ds/descriptor.hpp"
 #include "ds/impulse_tests.hpp"
 

@@ -20,6 +20,7 @@ const char* errorCodeName(ErrorCode code) {
     case ErrorCode::InvalidArgument: return "INVALID_ARGUMENT";
     case ErrorCode::NumericalFailure: return "NUMERICAL_FAILURE";
     case ErrorCode::SchurNoConvergence: return "SCHUR_NO_CONVERGENCE";
+    case ErrorCode::NetlistParseError: return "NETLIST_PARSE_ERROR";
     case ErrorCode::Internal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -40,6 +40,9 @@ enum class ErrorCode {
   SchurNoConvergence,  ///< The real Schur QR iteration exhausted its
                        ///< iteration budget (linalg::SchurConvergenceError;
                        ///< historically an untyped std::runtime_error).
+  NetlistParseError,   ///< A SPICE-subset netlist failed to parse; the
+                       ///< message carries the line-numbered typed
+                       ///< diagnostics (api/ingest.hpp).
   Internal,            ///< Unexpected failure (was any other exception).
 };
 

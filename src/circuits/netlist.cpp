@@ -15,6 +15,15 @@ Netlist& Netlist::addPort(int node) {
   return *this;
 }
 
+Netlist& Netlist::setComponentValue(std::size_t index, double value) {
+  if (index >= comps_.size())
+    throw std::invalid_argument("Netlist: component index out of range");
+  if (value == 0.0)
+    throw std::invalid_argument("Netlist: zero-valued element");
+  comps_[index].value = value;
+  return *this;
+}
+
 std::size_t Netlist::numInductors() const {
   std::size_t k = 0;
   for (const Component& c : comps_)

@@ -44,6 +44,12 @@ class Netlist {
   /// std::invalid_argument for ground or an out-of-range node.
   Netlist& addPort(int node);
 
+  /// Change the value of components()[index] in place (parametric
+  /// sweeps). Throws std::invalid_argument for an out-of-range index or
+  /// a zero value; negative values are allowed, as in addComponent, to
+  /// build non-passive mutants.
+  Netlist& setComponentValue(std::size_t index, double value);
+
   std::size_t numInductors() const;
 
  private:

@@ -1,0 +1,115 @@
+// SPICE-subset netlist text format: parser and canonical writer.
+//
+// Grammar (one card per logical line):
+//   * comment                      full-line comment ('*' in column 1)
+//   R<name> <node> <node> <value>  resistor  (Ohms)
+//   L<name> <node> <node> <value>  inductor  (Henries)
+//   C<name> <node> <node> <value>  capacitor (Farads)
+//   .port <node>                   current-injection port (vs ground)
+//   .end                           optional; everything after is ignored
+// A line starting with '+' continues the previous card; everything after
+// ';' on a line is a comment. Values accept the usual engineering
+// suffixes (f p n u m k meg g t, case-insensitive) plus trailing unit
+// letters ("2.2uF", "5kOhm").
+//
+// Node names: "0" and "gnd" (any case) are ground. Names that are all
+// digits keep their numeric value as the dense node index (classic
+// numbered SPICE netlists — and what writeSpice emits, so emit -> parse
+// -> emit round-trips bit-stably); symbolic names are assigned dense
+// indices above the highest numeric node in first-appearance order.
+// Numeric gaps (a node index no element connects) are parse errors: the
+// stamped MNA descriptor would carry an all-zero row.
+//
+// Error model: the parser NEVER throws and never silently accepts a
+// malformed card — every defect is reported as a typed, line-numbered
+// SpiceError and the partial netlist is withheld (ok() == false). The
+// public API wraps this as api::loadNetlist -> Status with
+// ErrorCode::NetlistParseError (src/api/ingest.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuits/netlist.hpp"
+
+namespace shhpass::circuits {
+
+/// What went wrong with one card (machine-readable; stable names from
+/// spiceErrorKindName for messages and tests).
+enum class SpiceErrorKind {
+  FileError = 0,     ///< The netlist file could not be read (line 0).
+  UnknownCard,       ///< Element letter or directive not in the subset.
+  TruncatedCard,     ///< Too few fields on an element card / directive.
+  TrailingField,     ///< Extra fields beyond the subset grammar.
+  BadNodeName,       ///< Malformed node token (negative, oversized, ...).
+  BadValue,          ///< Element value does not parse as a number.
+  NonPositiveValue,  ///< Zero value, or a negative value without
+                     ///< SpiceParseOptions::allowActiveElements.
+  ShortedElement,    ///< Both terminals on the same node.
+  DanglingPort,      ///< .port names a node no element connects.
+  PortAtGround,      ///< .port on node 0 / gnd.
+  UnconnectedNode,   ///< Numeric node indices leave a gap (dead MNA row).
+  EmptyNetlist,      ///< No element cards at all (line 0).
+};
+
+/// Stable machine-readable name of a kind (e.g. "NON_POSITIVE_VALUE").
+const char* spiceErrorKindName(SpiceErrorKind kind);
+
+/// One typed, line-accurate parse diagnostic. `line` is 1-based in the
+/// input text (the first physical line of a continued card); 0 means the
+/// defect is file-level (FileError, EmptyNetlist).
+struct SpiceError {
+  std::size_t line = 0;
+  SpiceErrorKind kind = SpiceErrorKind::UnknownCard;
+  std::string message;
+
+  /// "line 12: [NON_POSITIVE_VALUE] ..." (or "netlist: [...]" at line 0).
+  std::string toString() const;
+};
+
+struct SpiceParseOptions {
+  /// Permit negative element values (active elements, used to build
+  /// non-passive mutants for testing). Zero is always rejected — a
+  /// zero-valued element is degenerate in MNA regardless of sign
+  /// conventions. Off by default: a physical RLC netlist is passive.
+  bool allowActiveElements = false;
+};
+
+/// Parse outcome: a netlist plus the node-name table on success, a
+/// non-empty typed error list otherwise. The netlist is only meaningful
+/// when ok() — a failed parse withholds the partial build so a malformed
+/// file can never be silently analyzed.
+struct ParsedNetlist {
+  Netlist netlist{0};
+  /// nodeNames[i] is the source name of dense node i (nodeNames[0] is
+  /// always "0"); empty when !ok().
+  std::vector<std::string> nodeNames;
+  std::vector<SpiceError> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse SPICE-subset netlist text. Never throws; every defect lands in
+/// ParsedNetlist::errors with its line number.
+ParsedNetlist parseSpice(std::string_view text,
+                         const SpiceParseOptions& options = {});
+
+/// Read and parse a netlist file. An unreadable file reports one
+/// FileError at line 0.
+ParsedNetlist parseSpiceFile(const std::string& path,
+                             const SpiceParseOptions& options = {});
+
+/// Canonical SPICE-subset emission of a netlist: numeric node indices,
+/// per-kind element names (R1, L1, C1, ...) in component order, values
+/// in shortest round-trip decimal, ports in declaration order, ".end"
+/// terminated. writeSpice(parseSpice(writeSpice(n)).netlist) ==
+/// writeSpice(n), byte for byte, and the parsed netlist stamps a
+/// bit-identical MNA descriptor (every node of `net` must be connected —
+/// the parser's UnconnectedNode rule — which stampMna-able netlists
+/// satisfy by construction).
+std::string writeSpice(const Netlist& net,
+                       std::string_view comment = "shhpass netlist");
+
+}  // namespace shhpass::circuits

@@ -49,10 +49,101 @@ TEST(ApiStatus, EveryFailureStageMapsToADistinctCode) {
 TEST(ApiStatus, OperationalErrorsAreNotVerdictsAndHaveNoStage) {
   for (ErrorCode code :
        {ErrorCode::InvalidArgument, ErrorCode::NumericalFailure,
-        ErrorCode::SchurNoConvergence, ErrorCode::Internal}) {
+        ErrorCode::SchurNoConvergence, ErrorCode::NetlistParseError,
+        ErrorCode::Internal}) {
     EXPECT_FALSE(isVerdictCode(code));
     EXPECT_FALSE(failureStageFromErrorCode(code).has_value());
   }
+}
+
+// ------------------------------------------------------- netlist ingestion
+
+TEST(ApiIngest, ParseFailureMapsToNetlistParseErrorWithDiagnostics) {
+  // Two defects on known lines: both typed diagnostics must survive the
+  // Status mapping, line numbers included.
+  Result<LoadedNetlist> r = parseNetlist(
+      "R1 1 0 5\n"
+      "C1 1 0 bogus\n"
+      "R2 2 2 4\n"
+      ".port 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::NetlistParseError);
+  EXPECT_STREQ(errorCodeName(r.status().code()), "NETLIST_PARSE_ERROR");
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("line 2: [BAD_VALUE]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3: [SHORTED_ELEMENT]"), std::string::npos) << msg;
+}
+
+TEST(ApiIngest, UnreadableFileMapsToNetlistParseError) {
+  Result<LoadedNetlist> r = loadNetlist("/nonexistent/shhpass.cir");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::NetlistParseError);
+  EXPECT_NE(r.status().message().find("[FILE_ERROR]"), std::string::npos);
+}
+
+TEST(ApiIngest, ParseStampAnalyzeEndToEnd) {
+  Result<LoadedNetlist> loaded = parseNetlist(
+      "* quickstart one-port\n"
+      "L1 1 2 0.5\n"
+      "C1 2 0 0.25\n"
+      "R1 2 0 2\n"
+      ".port 1\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+  Result<ds::DescriptorSystem> sys = stampNetlist(loaded->netlist);
+  ASSERT_TRUE(sys.ok()) << sys.status().toString();
+  const PassivityAnalyzer analyzer;
+  Result<AnalysisReport> report = analyzer.analyze(*sys);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->passive);
+  EXPECT_NEAR(report->m1(0, 0), 0.5, 1e-10);  // M1 = L
+}
+
+TEST(ApiIngest, BuilderValidationSurfacesAsTypedStatus) {
+  // The raw Netlist builder throws std::invalid_argument; through the
+  // API boundary every validation failure is a typed Status instead.
+  Result<circuits::Netlist> shorted = buildNetlist(
+      2, [](circuits::Netlist& net) { net.addResistor(1, 1, 5.0); });
+  ASSERT_FALSE(shorted.ok());
+  EXPECT_EQ(shorted.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(shorted.status().message().find("shorted"), std::string::npos);
+
+  Result<circuits::Netlist> zeroValued = buildNetlist(
+      2, [](circuits::Netlist& net) { net.addCapacitor(1, 0, 0.0); });
+  ASSERT_FALSE(zeroValued.ok());
+  EXPECT_EQ(zeroValued.status().code(), ErrorCode::InvalidArgument);
+
+  Result<circuits::Netlist> badPort =
+      buildNetlist(2, [](circuits::Netlist& net) {
+        net.addResistor(1, 0, 1.0);
+        net.addPort(7);
+      });
+  ASSERT_FALSE(badPort.ok());
+  EXPECT_EQ(badPort.status().code(), ErrorCode::InvalidArgument);
+
+  Result<circuits::Netlist> badSetValue =
+      buildNetlist(2, [](circuits::Netlist& net) {
+        net.addResistor(1, 0, 1.0);
+        net.setComponentValue(0, 0.0);
+      });
+  ASSERT_FALSE(badSetValue.ok());
+  EXPECT_EQ(badSetValue.status().code(), ErrorCode::InvalidArgument);
+
+  Result<circuits::Netlist> good = buildNetlist(2, [](circuits::Netlist& n) {
+    n.addInductor(1, 2, 0.5).addCapacitor(2, 0, 0.25).addResistor(2, 0, 2.0);
+    n.addPort(1);
+  });
+  ASSERT_TRUE(good.ok()) << good.status().toString();
+  EXPECT_EQ(good->components().size(), 3u);
+}
+
+TEST(ApiIngest, StampingAPortlessNetlistIsTypedNotThrown) {
+  Result<circuits::Netlist> net = buildNetlist(
+      2, [](circuits::Netlist& n) { n.addResistor(1, 2, 1.0); });
+  ASSERT_TRUE(net.ok());
+  Result<ds::DescriptorSystem> sys = stampNetlist(*net);
+  ASSERT_FALSE(sys.ok());
+  EXPECT_EQ(sys.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(sys.status().message().find("no ports"), std::string::npos);
 }
 
 TEST(ApiStatus, SchurNonConvergenceMapsToTypedCode) {

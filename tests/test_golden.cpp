@@ -210,5 +210,113 @@ TEST(Golden, ReductionReproducesExactly) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Golden netlist corpus (tests/data/*.cir, path baked in by CMake as
+// SHHPASS_TEST_DATA_DIR): real files through the full ingestion path —
+// parseSpiceFile -> stampMna -> PassivityAnalyzer — with pinned verdicts.
+
+std::string dataFile(const char* name) {
+  return std::string(SHHPASS_TEST_DATA_DIR) + "/" + name;
+}
+
+api::AnalysisReport analyzeParsed(const circuits::ParsedNetlist& parsed) {
+  const api::PassivityAnalyzer analyzer;
+  api::Result<ds::DescriptorSystem> sys =
+      api::stampNetlist(parsed.netlist);
+  EXPECT_TRUE(sys.ok()) << sys.status().toString();
+  api::Result<api::AnalysisReport> report = analyzer.analyze(*sys);
+  EXPECT_TRUE(report.ok()) << report.status().toString();
+  return *report;
+}
+
+TEST(GoldenNetlist, CapAtPortLadderIsPassiveAndImpulseFree) {
+  circuits::ParsedNetlist parsed =
+      circuits::parseSpiceFile(dataFile("cap_at_port_ladder.cir"));
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front().toString();
+  EXPECT_EQ(parsed.netlist.numNodes(), 5);
+  EXPECT_EQ(parsed.netlist.components().size(), 8u);
+  ASSERT_EQ(parsed.netlist.ports().size(), 1u);
+  // Engineering suffixes: 1p == 1pF == 1e-12, 1n == 1nH == 1e-9.
+  EXPECT_EQ(parsed.netlist.components()[0].value, 1e-12);
+  EXPECT_EQ(parsed.netlist.components()[3].value, 1e-12);
+  EXPECT_EQ(parsed.netlist.components()[2].value, 1e-9);
+  EXPECT_EQ(parsed.netlist.components()[5].value, 1e-9);
+
+  const api::AnalysisReport report = analyzeParsed(parsed);
+  EXPECT_TRUE(report.passive);
+  EXPECT_EQ(report.verdict, api::ErrorCode::Ok);
+  EXPECT_EQ(report.order, 7u);
+  EXPECT_EQ(report.ports, 1u);
+  EXPECT_EQ(report.properOrder, 5u);
+  // The shunt cap AT the port keeps the driving point impulse-free.
+  EXPECT_EQ(report.removedImpulsive, 0u);
+  // min_w Re Z -> 0 as the port cap shorts at w -> infinity.
+  core::PassivityMargin pm =
+      core::passivityMargin(circuits::stampMna(parsed.netlist));
+  ASSERT_TRUE(pm.defined);
+  EXPECT_NEAR(pm.margin, 0.0, 1e-6);
+}
+
+TEST(GoldenNetlist, NonPassiveMutantNeedsActiveFlagAndFailsUnstable) {
+  // Without the mutant flag the negative resistor is a typed parse error
+  // on its exact line.
+  circuits::ParsedNetlist rejected =
+      circuits::parseSpiceFile(dataFile("nonpassive_mutant.cir"));
+  ASSERT_FALSE(rejected.ok());
+  ASSERT_EQ(rejected.errors.size(), 1u);
+  EXPECT_EQ(rejected.errors[0].kind,
+            circuits::SpiceErrorKind::NonPositiveValue);
+  EXPECT_EQ(rejected.errors[0].line, 7u);
+
+  circuits::SpiceParseOptions active;
+  active.allowActiveElements = true;
+  circuits::ParsedNetlist parsed =
+      circuits::parseSpiceFile(dataFile("nonpassive_mutant.cir"), active);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front().toString();
+  const api::AnalysisReport report = analyzeParsed(parsed);
+  EXPECT_FALSE(report.passive);
+  // Negative shunt R puts the finite RC pole in the right half plane.
+  EXPECT_EQ(report.verdict, api::ErrorCode::UnstableFiniteModes);
+  core::PassivityMargin pm =
+      core::passivityMargin(circuits::stampMna(parsed.netlist));
+  EXPECT_FALSE(pm.defined);
+}
+
+TEST(GoldenNetlist, MultiportTeeSymbolicNamesAndVerdict) {
+  circuits::ParsedNetlist parsed =
+      circuits::parseSpiceFile(dataFile("multiport_tee.cir"));
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front().toString();
+  // Symbolic nodes resolve in first-appearance order above ground.
+  const std::vector<std::string> expectedNames = {"0", "in", "mid", "out",
+                                                  "tail"};
+  EXPECT_EQ(parsed.nodeNames, expectedNames);
+  // Ports in declaration order: in, out, mid.
+  const std::vector<int> expectedPorts = {1, 3, 2};
+  EXPECT_EQ(parsed.netlist.ports(), expectedPorts);
+
+  const api::AnalysisReport report = analyzeParsed(parsed);
+  EXPECT_TRUE(report.passive);
+  EXPECT_EQ(report.verdict, api::ErrorCode::Ok);
+  EXPECT_EQ(report.order, 5u);
+  EXPECT_EQ(report.ports, 3u);
+  EXPECT_EQ(report.removedImpulsive, 2u);
+}
+
+TEST(GoldenNetlist, CorpusRoundTripsThroughWriter) {
+  for (const char* name : {"cap_at_port_ladder.cir", "multiport_tee.cir"}) {
+    circuits::ParsedNetlist parsed = circuits::parseSpiceFile(dataFile(name));
+    ASSERT_TRUE(parsed.ok()) << name;
+    const std::string emitted = circuits::writeSpice(parsed.netlist);
+    circuits::ParsedNetlist reparsed = circuits::parseSpice(emitted);
+    ASSERT_TRUE(reparsed.ok()) << name;
+    // Canonical emission is a fixed point: emit(parse(emit(n))) == emit(n).
+    EXPECT_EQ(circuits::writeSpice(reparsed.netlist), emitted) << name;
+    // And the reparsed netlist stamps the same decision input.
+    const api::AnalysisReport a = analyzeParsed(parsed);
+    const api::AnalysisReport b = analyzeParsed(reparsed);
+    EXPECT_TRUE(a.decisionEquals(b)) << name;
+  }
+}
+
 }  // namespace
 }  // namespace shhpass

@@ -1,0 +1,283 @@
+// Property tests for the SPICE-subset netlist parser/writer
+// (circuits/spice_parser.hpp), seeded and bit-reproducible:
+//
+//  * round-trip fidelity — writeSpice -> parseSpice -> writeSpice is a
+//    byte-stable fixed point, the parsed netlist reproduces every
+//    component (kind, nodes, value bits) and port, and it stamps an MNA
+//    descriptor bit-identical to the builder-constructed original;
+//  * decoration invariance — comments, inline comments, '+'
+//    continuations, and ragged whitespace never change what is parsed;
+//  * malformed corpus — every defect class reports its typed,
+//    line-numbered SpiceError, never a crash and never a silent accept
+//    (the partial netlist is withheld);
+//  * mutation fuzz — randomly corrupted netlist text never crashes the
+//    parser (the ASan/UBSan job runs this suite).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuits/mna.hpp"
+#include "circuits/netlist.hpp"
+#include "circuits/spice_parser.hpp"
+#include "test_support.hpp"
+
+namespace shhpass {
+namespace {
+
+using circuits::Netlist;
+using circuits::ParsedNetlist;
+using circuits::SpiceErrorKind;
+using testing::Xorshift;
+
+/// Exact netlist equality: every component field (value bitwise) + ports.
+void expectSameNetlist(const Netlist& a, const Netlist& b) {
+  ASSERT_EQ(a.numNodes(), b.numNodes());
+  ASSERT_EQ(a.components().size(), b.components().size());
+  for (std::size_t k = 0; k < a.components().size(); ++k) {
+    const circuits::Component& x = a.components()[k];
+    const circuits::Component& y = b.components()[k];
+    EXPECT_EQ(x.kind, y.kind) << "component " << k;
+    EXPECT_EQ(x.n1, y.n1) << "component " << k;
+    EXPECT_EQ(x.n2, y.n2) << "component " << k;
+    // Bitwise: the writer's shortest-round-trip decimals must come back
+    // as the same doubles, or re-stamped MNA bits would drift.
+    EXPECT_EQ(x.value, y.value) << "component " << k;
+  }
+  EXPECT_EQ(a.ports(), b.ports());
+}
+
+void expectSameStampedSystem(const Netlist& a, const Netlist& b) {
+  const ds::DescriptorSystem ga = circuits::stampMna(a);
+  const ds::DescriptorSystem gb = circuits::stampMna(b);
+  EXPECT_TRUE(testing::bitIdentical(ga.e, gb.e));
+  EXPECT_TRUE(testing::bitIdentical(ga.a, gb.a));
+  EXPECT_TRUE(testing::bitIdentical(ga.b, gb.b));
+  EXPECT_TRUE(testing::bitIdentical(ga.c, gb.c));
+  EXPECT_TRUE(testing::bitIdentical(ga.d, gb.d));
+}
+
+TEST(SpiceParserRandom, RoundTripIsByteStableAndStampsIdentically) {
+  for (unsigned seed = 1; seed <= 40; ++seed) {
+    Xorshift gen(seed * 0x9e3779b97f4a7c15ull);
+    const Netlist net = testing::randomConnectedNetlist(gen);
+    const std::string emitted = circuits::writeSpice(net);
+    ParsedNetlist parsed = circuits::parseSpice(emitted);
+    ASSERT_TRUE(parsed.ok())
+        << "seed " << seed << ": " << parsed.errors.front().toString()
+        << "\n" << emitted;
+    expectSameNetlist(net, parsed.netlist);
+    // Byte-stable fixed point.
+    EXPECT_EQ(circuits::writeSpice(parsed.netlist), emitted) << "seed "
+                                                             << seed;
+    // Bit-identical decision input.
+    expectSameStampedSystem(net, parsed.netlist);
+    // Numeric node names are the identity mapping.
+    ASSERT_EQ(parsed.nodeNames.size(),
+              static_cast<std::size_t>(net.numNodes()) + 1);
+    for (std::size_t i = 0; i < parsed.nodeNames.size(); ++i)
+      EXPECT_EQ(parsed.nodeNames[i], std::to_string(i));
+  }
+}
+
+/// Re-emit canonical text with random decorations: comment lines, inline
+/// comments, extra whitespace, and '+' continuations after the first
+/// token. None of it may change the parse.
+std::string decorate(const std::string& canonical, Xorshift& gen) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < canonical.size()) {
+    const std::size_t eol = canonical.find('\n', pos);
+    std::string line = canonical.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (gen.pick(3) == 0) out += "* a comment line\n";
+    if (gen.pick(2) == 0) out += "\t ";  // leading whitespace
+    if (!line.empty() && line[0] != '.' && line[0] != '*' &&
+        gen.pick(2) == 0) {
+      // Split the card after its first token into a continuation line.
+      const std::size_t space = line.find(' ');
+      if (space != std::string::npos) {
+        out += line.substr(0, space);
+        out += "\n+ ";
+        line = line.substr(space + 1);
+      }
+    }
+    out += line;
+    if (gen.pick(3) == 0) out += " ; trailing comment";
+    out += "\n";
+    if (gen.pick(4) == 0) out += "\n";  // blank line
+  }
+  return out;
+}
+
+TEST(SpiceParserRandom, DecorationsNeverChangeTheParse) {
+  for (unsigned seed = 1; seed <= 25; ++seed) {
+    Xorshift gen(0xabcddcba0000ull + seed);
+    const Netlist net = testing::randomConnectedNetlist(gen);
+    const std::string canonical = circuits::writeSpice(net);
+    const std::string decorated = decorate(canonical, gen);
+    ParsedNetlist parsed = circuits::parseSpice(decorated);
+    ASSERT_TRUE(parsed.ok())
+        << "seed " << seed << ": " << parsed.errors.front().toString()
+        << "\n" << decorated;
+    expectSameNetlist(net, parsed.netlist);
+  }
+}
+
+TEST(SpiceParserRandom, EngineeringSuffixesAndUnits) {
+  const ParsedNetlist parsed = circuits::parseSpice(
+      "R1 1 0 2.2k\n"
+      "R2 1 2 1meg\n"
+      "C1 2 0 10uF\n"
+      "L1 1 2 3nH\n"
+      "C2 1 0 5pf\n"
+      "R3 2 0 1.5MegOhm\n"
+      "L2 2 0 2mH\n"
+      "C3 1 2 4f\n"
+      ".port 1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.errors.front().toString();
+  const std::vector<double> expected = {2.2e3, 1e6,  10e-6, 3e-9,
+                                        5e-12, 1.5e6, 2e-3,  4e-15};
+  ASSERT_EQ(parsed.netlist.components().size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k)
+    EXPECT_DOUBLE_EQ(parsed.netlist.components()[k].value, expected[k])
+        << "component " << k;
+}
+
+struct MalformedCase {
+  const char* name;
+  const char* text;
+  SpiceErrorKind kind;
+  std::size_t line;
+};
+
+TEST(SpiceParserRandom, MalformedCorpusReportsTypedLineNumberedErrors) {
+  const MalformedCase corpus[] = {
+      {"bad node symbol", "R1 1 no$de 5\n.port 1\n",
+       SpiceErrorKind::BadNodeName, 1},
+      {"negative node", "R1 -1 2 5\nR2 1 2 4\n.port 1\n",
+       SpiceErrorKind::BadNodeName, 1},
+      {"oversized node index", "R1 1 99999999999 5\n.port 1\n",
+       SpiceErrorKind::BadNodeName, 1},
+      {"zero value", "R1 1 0 0\n.port 1\n",
+       SpiceErrorKind::NonPositiveValue, 1},
+      {"negative value without mutant flag", "L1 1 0 5\nR1 1 0 -2\n",
+       SpiceErrorKind::NonPositiveValue, 2},
+      {"garbled value", "R1 1 0 5x3\n.port 1\n", SpiceErrorKind::BadValue,
+       1},
+      {"overflowing value", "C1 1 0 1e999\n.port 1\n",
+       SpiceErrorKind::BadValue, 1},
+      {"truncated element", "R1 1 2\nR2 1 0 4\n.port 1\n",
+       SpiceErrorKind::TruncatedCard, 1},
+      {"truncated directive", "R1 1 0 5\n.port\n",
+       SpiceErrorKind::TruncatedCard, 2},
+      {"trailing element field", "R1 1 0 5 extra\n",
+       SpiceErrorKind::TrailingField, 1},
+      {"trailing port field", "R1 1 0 5\n.port 1 2\n",
+       SpiceErrorKind::TrailingField, 2},
+      {"unknown element", "V1 1 0 5\nR1 1 0 2\n.port 1\n",
+       SpiceErrorKind::UnknownCard, 1},
+      {"unknown directive", "R1 1 0 5\n.tran 1n\n.port 1\n",
+       SpiceErrorKind::UnknownCard, 2},
+      {"orphan continuation", "+ 1 0 5\nR1 1 0 2\n.port 1\n",
+       SpiceErrorKind::UnknownCard, 1},
+      {"shorted element", "R1 2 2 5\nR2 1 2 3\n.port 1\n",
+       SpiceErrorKind::ShortedElement, 1},
+      {"shorted through ground alias", "R1 gnd 0 5\nR2 1 0 3\n.port 1\n",
+       SpiceErrorKind::ShortedElement, 1},
+      {"dangling numeric port", "R1 1 2 5\n.port 3\n",
+       SpiceErrorKind::DanglingPort, 2},
+      {"dangling symbolic port", "R1 1 2 5\n.port nowhere\n",
+       SpiceErrorKind::DanglingPort, 2},
+      {"port at ground", "R1 1 0 5\n.port 0\n",
+       SpiceErrorKind::PortAtGround, 2},
+      {"port at ground alias", "R1 1 0 5\n.port GND\n",
+       SpiceErrorKind::PortAtGround, 2},
+      {"numeric node gap", "R1 1 3 5\n.port 1\n",
+       SpiceErrorKind::UnconnectedNode, 1},
+      {"empty netlist", "* only comments here\n\n",
+       SpiceErrorKind::EmptyNetlist, 0},
+      {"everything after .end ignored", "* lead\n.end\nR1 1 0 5\n",
+       SpiceErrorKind::EmptyNetlist, 0},
+  };
+  for (const MalformedCase& c : corpus) {
+    const ParsedNetlist parsed = circuits::parseSpice(c.text);
+    ASSERT_FALSE(parsed.ok()) << c.name;
+    // The partial netlist is withheld — a malformed file can never be
+    // silently analyzed.
+    EXPECT_TRUE(parsed.netlist.components().empty()) << c.name;
+    EXPECT_TRUE(parsed.nodeNames.empty()) << c.name;
+    bool found = false;
+    for (const circuits::SpiceError& e : parsed.errors)
+      if (e.kind == c.kind && e.line == c.line) found = true;
+    EXPECT_TRUE(found) << c.name << ": expected ["
+                       << circuits::spiceErrorKindName(c.kind) << "] at line "
+                       << c.line << ", got "
+                       << parsed.errors.front().toString();
+  }
+}
+
+TEST(SpiceParserRandom, ErrorToStringCarriesLineAndKind) {
+  const ParsedNetlist parsed =
+      circuits::parseSpice("R1 1 0 5\nC7 1 0 bogus\n.port 1\n");
+  ASSERT_FALSE(parsed.ok());
+  ASSERT_EQ(parsed.errors.size(), 1u);
+  const std::string s = parsed.errors[0].toString();
+  EXPECT_NE(s.find("line 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("[BAD_VALUE]"), std::string::npos) << s;
+}
+
+TEST(SpiceParserRandom, UnreadableFileIsTypedNotThrown) {
+  const ParsedNetlist parsed =
+      circuits::parseSpiceFile("/nonexistent/shhpass/netlist.cir");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.errors[0].kind, SpiceErrorKind::FileError);
+  EXPECT_EQ(parsed.errors[0].line, 0u);
+}
+
+TEST(SpiceParserRandom, MutationFuzzNeverCrashes) {
+  // Corrupt valid netlists with random splices, character flips, and
+  // truncations; the parser must always return (typed errors or a
+  // legitimately reparseable accept), never crash — the sanitizer jobs
+  // give this teeth.
+  const char kNoise[] = "RLCrlc.port+*;0123456789 \t\n-ex$#\"";
+  for (unsigned seed = 1; seed <= 120; ++seed) {
+    Xorshift gen(0xfeedface0000ull + seed);
+    const Netlist net = testing::randomConnectedNetlist(gen);
+    std::string text = circuits::writeSpice(net);
+    const std::size_t edits = 1 + gen.pick(6);
+    for (std::size_t e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t at = gen.pick(text.size());
+      switch (gen.pick(3)) {
+        case 0:  // flip a character
+          text[at] = kNoise[gen.pick(sizeof(kNoise) - 1)];
+          break;
+        case 1:  // insert noise
+          text.insert(at, 1, kNoise[gen.pick(sizeof(kNoise) - 1)]);
+          break;
+        default:  // truncate (the "cut off mid-card" class)
+          text.resize(at);
+          break;
+      }
+    }
+    const ParsedNetlist parsed = circuits::parseSpice(text);
+    if (parsed.ok()) {
+      // A mutation that still parses must round-trip like any accept.
+      const std::string emitted = circuits::writeSpice(parsed.netlist);
+      const ParsedNetlist again = circuits::parseSpice(emitted);
+      ASSERT_TRUE(again.ok()) << "seed " << seed;
+      EXPECT_EQ(circuits::writeSpice(again.netlist), emitted)
+          << "seed " << seed;
+    } else {
+      EXPECT_TRUE(parsed.netlist.components().empty()) << "seed " << seed;
+      for (const circuits::SpiceError& e : parsed.errors)
+        EXPECT_NE(std::string(circuits::spiceErrorKindName(e.kind)),
+                  "UNKNOWN")
+            << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shhpass

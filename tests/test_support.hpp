@@ -6,7 +6,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
+#include "circuits/netlist.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/matrix.hpp"
 
@@ -105,6 +107,54 @@ inline void expectMatrixNear(const Matrix& a, const Matrix& b,
   ASSERT_EQ(a.rows(), b.rows());
   ASSERT_EQ(a.cols(), b.cols());
   EXPECT_TRUE(a.approxEqual(b, tol)) << "max dev " << (a - b).maxAbs();
+}
+
+/// Bit-for-bit matrix equality (shape + every entry's bit pattern) for
+/// the determinism pins: approxEqual would hide a changed accumulation
+/// order, and NaN/-0.0 must compare by representation, not value.
+inline bool bitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(double) * a.rows() * a.cols()) == 0;
+}
+
+/// Deterministic random connected RLC netlist for the ingestion / sweep
+/// property tests: a spanning chain guarantees every node is
+/// element-connected (the parser's UnconnectedNode rule), extra R/L/C
+/// branches are sprinkled across random distinct node pairs, values are
+/// log-uniform across six decades, and 1-3 distinct ports are chosen.
+inline circuits::Netlist randomConnectedNetlist(Xorshift& gen,
+                                                int maxNodes = 8) {
+  const int nodes = 2 + static_cast<int>(gen.pick(
+                            static_cast<std::size_t>(maxNodes - 1)));
+  circuits::Netlist net(nodes);
+  auto randomValue = [&gen] {
+    return std::pow(10.0, gen.uniform(-3.0, 3.0));
+  };
+  auto addRandom = [&](int n1, int n2) {
+    switch (gen.pick(3)) {
+      case 0: net.addResistor(n1, n2, randomValue()); break;
+      case 1: net.addInductor(n1, n2, randomValue()); break;
+      default: net.addCapacitor(n1, n2, randomValue()); break;
+    }
+  };
+  // Spanning chain: node k attaches to a random strictly lower node.
+  for (int k = 1; k <= nodes; ++k)
+    addRandom(k, static_cast<int>(gen.pick(static_cast<std::size_t>(k))));
+  const std::size_t extras = gen.pick(4);
+  for (std::size_t e = 0; e < extras; ++e) {
+    const int n1 = static_cast<int>(gen.pick(
+        static_cast<std::size_t>(nodes) + 1));
+    int n2 = n1;
+    while (n2 == n1)
+      n2 = static_cast<int>(gen.pick(static_cast<std::size_t>(nodes) + 1));
+    addRandom(n1, n2);
+  }
+  const std::size_t numPorts = 1 + gen.pick(3);
+  for (int p = 1; p <= nodes && static_cast<std::size_t>(p) <= numPorts;
+       ++p)
+    net.addPort(p);
+  return net;
 }
 
 }  // namespace shhpass::testing

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Validate a BENCH_pipeline.json file against the documented schema.
 
-Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 5: version 4
-— the per-pipeline-row staircase deflation-chain health object and the
-deflation-chain kernel rows, on which the staircase >= 1.5x SVD-chain
-speedup floor at order 256 is enforced — plus the batchThroughput object
-from the two-level scheduler: mixed-order analyses/sec sequential vs
-scheduled, with decisionMismatches required to be exactly 0 and the
-speedup floor of 2.0x enforced when the recording machine had >= 8
-hardware threads). Stdlib only — CI runs this after the bench smoke job
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 6: version 5
+— the staircase deflation-chain health/kernel rows with the >= 1.5x
+SVD-chain speedup floor at order 256, and the batchThroughput object
+from the two-level scheduler (decisionMismatches exactly 0; speedup
+floor 2.0x when the recording machine had >= 8 hardware threads) — plus
+the sweepThroughput object from the parametric-sweep workload: points
+per second of a decade sweep re-stamped through MnaWorkspace and fanned
+through the shard scheduler, with decisionMismatches again required to
+be exactly 0). Stdlib only — CI runs this after the bench smoke job
 with no pip installs.
 
 Usage: validate_bench_json.py PATH [--expect-order N]...
@@ -69,7 +70,7 @@ def main():
 
     require(doc.get("schema") == "shhpass-bench-pipeline",
             f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
-    require(doc.get("schemaVersion") == 5,
+    require(doc.get("schemaVersion") == 6,
             f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
     require(doc.get("timeUnit") == "seconds",
             f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
@@ -216,9 +217,56 @@ def main():
                 f"batchThroughput.speedup = {speedup:.2f} < 0.5 — scheduler "
                 f"overhead is pathological even for {int(hw)} thread(s)")
 
+    # -------------------------------------------- sweepThroughput (v6)
+    st = doc.get("sweepThroughput")
+    require(isinstance(st, dict), "missing 'sweepThroughput' object")
+    points = check_number(st, "points", "sweepThroughput", minimum=64)
+    axes = check_number(st, "axes", "sweepThroughput", minimum=1)
+    per_axis = check_number(st, "pointsPerAxis", "sweepThroughput", minimum=2)
+    require(points == per_axis ** axes,
+            f"sweepThroughput.points = {points} != pointsPerAxis^axes = "
+            f"{per_axis} ** {axes}")
+    check_number(st, "order", "sweepThroughput", minimum=1)
+    check_number(st, "passiveCount", "sweepThroughput", minimum=0)
+    sweep_hw = check_number(st, "hardwareThreads", "sweepThroughput",
+                            minimum=1)
+    for leg in ("sequential", "scheduled"):
+        sub = st.get(leg)
+        require(isinstance(sub, dict), f"sweepThroughput.{leg} must be an "
+                                       f"object")
+        check_number(sub, "seconds", f"sweepThroughput.{leg}", minimum=0.0)
+        check_number(sub, "pointsPerSecond", f"sweepThroughput.{leg}",
+                     minimum=0.0)
+    require(st["sequential"].get("workers") == 1,
+            "sweepThroughput.sequential must record exactly 1 worker")
+    require(isinstance(st["scheduled"].get("stageGraph"), bool),
+            "sweepThroughput.scheduled: 'stageGraph' must be a bool")
+    sweep_speedup = check_number(st, "speedup", "sweepThroughput",
+                                 minimum=0.0)
+    sweep_mismatches = check_number(st, "decisionMismatches",
+                                    "sweepThroughput", minimum=0)
+    # Determinism is unconditional here too: every sweep point's verdict
+    # through the shard scheduler must match the sequential baseline.
+    require(sweep_mismatches == 0,
+            f"sweepThroughput.decisionMismatches = {sweep_mismatches} != 0 "
+            f"— the sweep changed a decision under the scheduler")
+    # Same conditional throughput floor shape as batchThroughput: 1.5x
+    # with >= 8 hardware threads (sweep points are smaller than the batch
+    # mix, so scheduling overhead weighs more), else a sanity floor only.
+    if sweep_hw >= 8:
+        require(sweep_speedup >= 1.5,
+                f"sweepThroughput.speedup = {sweep_speedup:.2f} < 1.5 with "
+                f"{int(sweep_hw)} hardware threads")
+    else:
+        require(sweep_speedup >= 0.5,
+                f"sweepThroughput.speedup = {sweep_speedup:.2f} < 0.5 — "
+                f"sweep scheduling overhead is pathological even for "
+                f"{int(sweep_hw)} thread(s)")
+
     print(f"validate_bench_json: OK: {args.path} "
           f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows, "
-          f"batch speedup {speedup:.2f}x @ {int(hw)} hw threads)")
+          f"batch speedup {speedup:.2f}x, sweep {int(points)} points "
+          f"{sweep_speedup:.2f}x @ {int(hw)} hw threads)")
 
 
 if __name__ == "__main__":
