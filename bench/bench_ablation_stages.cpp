@@ -2,11 +2,20 @@
 // The paper states the bottleneck is the identification of the stable
 // invariant subspace in Eq. (22); this bench verifies where the time goes.
 //
-// The per-stage numbers come straight from the stage-pipeline engine's
-// StageTrace records (api/pipeline.hpp) — no hand-rolled stage
-// re-orchestration. Two sub-probes re-run the Hamiltonian eigenstructure
-// (Eq. 22, the claimed bottleneck) and the Lyapunov-based split on the
-// intermediate A4 to break the proper-part stage down further.
+// Everything here rides the telemetry surface (src/obs/) instead of
+// hand-rolled timing: the per-stage numbers come from the stage
+// pipeline's StageTrace records, the two sub-probes that break the
+// proper-part stage down further (the Eq.-22 Hamiltonian eigenstructure
+// and the Lyapunov-based split, re-run on the intermediate A4) are ObsSpan
+// scopes read back from the span tracer, kernel effort per order is the
+// delta of the gemm/svd counters in the metrics registry, and the peak
+// column is the per-order memory high-water mark from the accountant.
+//
+//   bench_ablation_stages [--quick] [--trace PATH]
+//     --trace PATH  additionally dump the full span timeline (stages,
+//                   kernels, sub-probes) as Chrome trace-event JSON.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -16,27 +25,59 @@
 #include "bench_support.hpp"
 #include "api/pipeline.hpp"
 #include "control/hamiltonian.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "shh/stable_subspace.hpp"
+
+namespace {
+
+// Duration of the most recent published span with this name (seconds).
+double spanSeconds(const char* name) {
+  const std::vector<shhpass::obs::TraceEvent> spans =
+      shhpass::obs::snapshotTrace();
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it)
+    if (std::string(it->name) == name)
+      return static_cast<double>(it->durNs) * 1e-9;
+  return 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace shhpass;
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--quick") quick = true;
+  std::string tracePath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    else if (arg == "--trace" && i + 1 < argc) tracePath = argv[++i];
+  }
   std::vector<std::size_t> orders = {50, 100, 200, 400};
   if (quick) orders = {50, 100};
+
+  obs::setTraceEnabled(true);
+  obs::setMetricsEnabled(true);
+  obs::setMemoryEnabled(true);
 
   const api::Pipeline pipeline = api::Pipeline::standard();
 
   std::printf(
-      "# Ablation: per-stage wall time (sec) of the proposed SHH test,\n"
-      "# plus reorder health of the Eq.-(22) split (swap count, rejected\n"
-      "# swaps, max accepted-swap residual) from the ReorderReport.\n");
-  std::printf("%-8s %-10s %-10s %-10s %-10s %-12s %-10s %-7s %-5s %-10s\n",
-              "order", "deflate", "nondyn", "proper", "eig22", "split",
-              "pr-test", "swaps", "rej", "maxresid");
+      "# Ablation: per-stage wall time (sec) of the proposed SHH test\n"
+      "# (StageTrace records), reorder health of the Eq.-(22) split\n"
+      "# (swap count, rejected swaps, max accepted-swap residual), kernel\n"
+      "# effort per order (gemm/svd call deltas from the metrics\n"
+      "# registry), and peak live Matrix bytes (memory accountant).\n");
+  std::printf(
+      "%-8s %-10s %-10s %-10s %-10s %-12s %-10s %-7s %-5s %-10s %-7s "
+      "%-6s %-8s\n",
+      "order", "deflate", "nondyn", "proper", "eig22", "split", "pr-test",
+      "swaps", "rej", "maxresid", "gemm", "svd", "peakMB");
   for (std::size_t n : orders) {
     ds::DescriptorSystem g = circuits::makeBenchmarkModel(n, true);
+
+    const std::uint64_t gemm0 = obs::counterValue(obs::Counter::GemmCalls);
+    const std::uint64_t svd0 = obs::counterValue(obs::Counter::SvdCalls);
 
     api::PipelineState state;
     state.input = &g;
@@ -48,25 +89,49 @@ int main(int argc, char** argv) {
       continue;
     }
     std::map<std::string, double> t;
-    for (const api::StageTrace& tr : traces) t[tr.name] = tr.seconds;
+    std::size_t peakBytes = 0;
+    for (const api::StageTrace& tr : traces) {
+      t[tr.name] = tr.seconds;
+      peakBytes = std::max(peakBytes, tr.peakBytes);
+    }
 
     // Sub-probes inside the proper-part stage: (a) the Hamiltonian
     // eigenstructure of Eq. (22) — the claimed bottleneck — and (b) the
-    // stable/antistable Lyapunov split, both re-run on the intermediate A4.
+    // stable/antistable Lyapunov split, both re-run on the intermediate
+    // A4 as ObsSpan scopes and read back from the tracer, so they land
+    // on the same timeline as the stage and kernel spans they contain.
     const linalg::Matrix& a4 = state.result.properPart.a4;
-    const double tEig22 = bench::timeSeconds(
-        [&] { control::stableInvariantSubspace(a4); });
-    const double tSplit =
-        bench::timeSeconds([&] { shh::decoupleHamiltonian(a4); });
+    {
+      obs::ObsSpan span("eig22", "ablation");
+      control::stableInvariantSubspace(a4);
+    }
+    {
+      obs::ObsSpan span("lyapunov-split", "ablation");
+      shh::decoupleHamiltonian(a4);
+    }
+    const double tEig22 = spanSeconds("eig22");
+    const double tSplit = spanSeconds("lyapunov-split");
 
     const linalg::ReorderReport& rr = state.result.reorder;
     std::printf(
         "%-8zu %-10.4f %-10.4f %-10.4f %-10.4f %-12.4f %-10.4f %-7zu "
-        "%-5zu %-10.2e\n",
+        "%-5zu %-10.2e %-7llu %-6llu %-8.2f\n",
         n, t["impulse-deflation"], t["nondynamic-removal"], t["proper-part"],
         tEig22, tSplit, t["pr-test"], rr.swaps, rr.rejectedSwaps,
-        rr.maxResidual);
+        rr.maxResidual,
+        static_cast<unsigned long long>(
+            obs::counterValue(obs::Counter::GemmCalls) - gemm0),
+        static_cast<unsigned long long>(
+            obs::counterValue(obs::Counter::SvdCalls) - svd0),
+        static_cast<double>(peakBytes) / (1024.0 * 1024.0));
     std::fflush(stdout);
+  }
+  if (!tracePath.empty()) {
+    if (!obs::writeTraceJson(tracePath)) {
+      std::fprintf(stderr, "cannot write %s\n", tracePath.c_str());
+      return 1;
+    }
+    std::printf("# wrote span timeline to %s\n", tracePath.c_str());
   }
   return 0;
 }

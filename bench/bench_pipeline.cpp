@@ -6,8 +6,9 @@
 // staircase deflation-chain health, measures the dense kernels (naive vs
 // blocked gemm, unblocked vs blocked Hessenberg, unblocked vs blocked
 // SVD, unblocked vs multishift-AED Schur, staircase vs legacy SVD
-// deflation chain) in GFLOP/s, and writes everything as
-// BENCH_pipeline.json.
+// deflation chain) in GFLOP/s, records per-stage peak live bytes from
+// the memory accountant plus the telemetry-on-vs-dark observer-overhead
+// row (schema v7), and writes everything as BENCH_pipeline.json.
 //
 // The JSON schema is documented in docs/BENCHMARKS.md; the committed
 // BENCH_pipeline.json at the repository root is one trajectory point per
@@ -48,6 +49,9 @@
 #include "linalg/hessenberg.hpp"
 #include "linalg/schur.hpp"
 #include "linalg/svd.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -100,12 +104,18 @@ int main(int argc, char** argv) {
   api::json::Writer w;
   w.beginObject();
   w.key("schema").value("shhpass-bench-pipeline");
-  w.key("schemaVersion").value(std::size_t{6});
+  w.key("schemaVersion").value(std::size_t{7});
   w.key("timeUnit").value("seconds");
   w.key("gemmThreads").value(linalg::gemmThreads());
   w.key("reps").value(static_cast<std::size_t>(reps));
 
   // ------------------------------------------------------------- pipeline
+  // Memory accounting on for the pipeline rows so every StageTrace
+  // carries its high-water peakBytes (schema v7). The accountant is one
+  // relaxed atomic per Matrix allocation — its cost is covered by the
+  // observerOverhead row below, which times the FULL telemetry stack
+  // (trace + metrics + memory) against a fully-dark run.
+  obs::setMemoryEnabled(true);
   const api::PassivityAnalyzer analyzer;
   // Warmup: one full analysis at the smallest order primes allocators and
   // the CPU frequency governor before anything is timed.
@@ -152,6 +162,7 @@ int main(int argc, char** argv) {
       w.beginObject();
       w.key("name").value(t.name);
       w.key("seconds").value(t.seconds);
+      w.key("peakBytes").value(t.peakBytes);
       w.endObject();
     }
     w.endArray();
@@ -447,6 +458,53 @@ int main(int argc, char** argv) {
     w.endObject();
     w.key("speedup").value(seqBest / schedBest);
     w.key("decisionMismatches").value(mismatches);
+    w.endObject();
+  }
+
+  // ----------------------------------------------- observer overhead (v7)
+  // The telemetry contract (src/obs/, docs/ARCHITECTURE.md) is "near-zero
+  // when off, bounded when on": this row MEASURES the bound. One analysis
+  // at the top ladder order, best-of-reps, first with every telemetry
+  // surface dark (trace + metrics + memory accounting all off), then with
+  // all of them forced on; validate_bench_json.py enforces
+  // overheadPct < 3 at order >= 400 (looser sanity ceiling on the quick
+  // smoke ladder, where the run is too short to time a 3% delta).
+  {
+    const std::size_t order = orders.back();
+    const ds::DescriptorSystem g = circuits::makeBenchmarkModel(order, true);
+    obs::setTraceEnabled(false);
+    obs::setMetricsEnabled(false);
+    obs::setMemoryEnabled(false);
+    double offBest = 1e300;
+    for (int r0 = 0; r0 < reps; ++r0)
+      offBest = std::min(offBest,
+                         bench::timeSeconds([&] { (void)analyzer.analyze(g); }));
+    obs::setTraceEnabled(true);
+    obs::setMetricsEnabled(true);
+    obs::setMemoryEnabled(true);
+    double onBest = 1e300;
+    for (int r0 = 0; r0 < reps; ++r0) {
+      // Fresh span buffers each rep: the overhead being measured is the
+      // record path, not an artifact of earlier reps filling the
+      // fixed-capacity per-thread buffers and flipping spans into drops.
+      obs::clearTrace();
+      onBest = std::min(onBest,
+                        bench::timeSeconds([&] { (void)analyzer.analyze(g); }));
+    }
+    obs::setTraceEnabled(false);
+    obs::setMetricsEnabled(false);
+    const double overheadPct = (onBest - offBest) / offBest * 100.0;
+
+    std::printf(
+        "observer-overhead: order %zu: %.4fs dark -> %.4fs telemetry-on "
+        "(%.2f%%)\n",
+        order, offBest, onBest, overheadPct);
+
+    w.key("observerOverhead").beginObject();
+    w.key("order").value(order);
+    w.key("darkSeconds").value(offBest);
+    w.key("telemetrySeconds").value(onBest);
+    w.key("overheadPct").value(overheadPct);
     w.endObject();
   }
   w.endObject();

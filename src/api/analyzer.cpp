@@ -9,8 +9,25 @@
 #include "api/json.hpp"
 #include "api/thread_pool.hpp"
 #include "linalg/blas.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace shhpass::api {
+namespace {
+
+/// Canonical (non-discarded) stage subsequence — the decision path.
+/// Speculative runGraph stages appended as discarded are execution
+/// records, not decisions, so decisionEquals compares through this view.
+std::vector<const StageTrace*> canonicalStages(
+    const std::vector<StageTrace>& stages) {
+  std::vector<const StageTrace*> out;
+  out.reserve(stages.size());
+  for (const StageTrace& t : stages)
+    if (!t.discarded) out.push_back(&t);
+  return out;
+}
+
+}  // namespace
 
 bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
   if (id != other.id || passive != other.passive ||
@@ -55,11 +72,14 @@ bool AnalysisReport::decisionEquals(const AnalysisReport& other) const {
       schur.structureRepairs != other.schur.structureRepairs)
     return false;
   if (warnings != other.warnings) return false;
-  if (stages.size() != other.stages.size()) return false;
-  for (std::size_t k = 0; k < stages.size(); ++k) {
-    if (stages[k].name != other.stages[k].name ||
-        stages[k].status.code() != other.stages[k].status.code() ||
-        stages[k].status.message() != other.stages[k].status.message())
+  const std::vector<const StageTrace*> mine = canonicalStages(stages);
+  const std::vector<const StageTrace*> theirs =
+      canonicalStages(other.stages);
+  if (mine.size() != theirs.size()) return false;
+  for (std::size_t k = 0; k < mine.size(); ++k) {
+    if (mine[k]->name != theirs[k]->name ||
+        mine[k]->status.code() != theirs[k]->status.code() ||
+        mine[k]->status.message() != theirs[k]->status.message())
       return false;
   }
   return true;
@@ -79,6 +99,13 @@ std::string AnalysisReport::toJson() const {
   w.key("removedNondynamic").value(removedNondynamic);
   w.key("impulsiveChains").value(impulsiveChains);
   w.key("properOrder").value(properOrder);
+  {
+    // Peak of the per-stage memory high-water marks (0 when the obs
+    // memory accountant was off for the run).
+    std::size_t peak = 0;
+    for (const StageTrace& t : stages) peak = std::max(peak, t.peakBytes);
+    w.key("peakBytes").value(peak);
+  }
   w.key("m1").value(m1);
   w.key("reorder").beginObject();
   w.key("swaps").value(reorder.swaps);
@@ -138,6 +165,8 @@ std::string AnalysisReport::toJson() const {
     w.key("status").value(errorCodeName(t.status.code()));
     if (!t.status.ok()) w.key("message").value(t.status.message());
     w.key("seconds").value(t.seconds);
+    if (t.peakBytes > 0) w.key("peakBytes").value(t.peakBytes);
+    if (t.discarded) w.key("discarded").value(true);
     w.endObject();
   }
   w.endArray();
@@ -155,6 +184,11 @@ PassivityAnalyzer::PassivityAnalyzer(AnalyzerOptions options)
   const char* env = std::getenv("SHHPASS_STAGE_GRAPH");
   if (env != nullptr && std::strcmp(env, "0") != 0)
     options_.stageGraph = true;
+  // Telemetry: environment forces first (SHHPASS_TRACE / SHHPASS_METRICS,
+  // read once process-wide), then this analyzer's own switches on top.
+  // Both only ever turn telemetry ON — pure observation either way.
+  obs::initTelemetryFromEnv();
+  obs::applyTelemetryOptions(options_.telemetry);
 }
 
 void PassivityAnalyzer::setStageObserver(Pipeline::Observer observer) {
@@ -257,6 +291,10 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
     const std::string& id, bool notifyObserver,
     std::size_t gemmBudget) const {
   const Pipeline& pipeline = standardPipeline();
+  obs::counterAdd(obs::Counter::AnalysesStarted);
+  obs::gaugeAdd(obs::Gauge::AnalysesInFlight, 1);
+  obs::ObsSpan span("analyze", "api");
+  span.arg("order", static_cast<std::int64_t>(system.order()));
 
   PipelineState state;
   state.input = &system;
@@ -288,8 +326,11 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   } else {
     status = pipeline.run(state, &report.stages, observer);
   }
-  if (!status.ok() && !isVerdictCode(status.code()))
+  if (!status.ok() && !isVerdictCode(status.code())) {
+    obs::counterAdd(obs::Counter::AnalysesFailed);
+    obs::gaugeAdd(obs::Gauge::AnalysesInFlight, -1);
     return Result<AnalysisReport>(status);
+  }
 
   report.passive = state.result.passive;
   report.verdict = status.code();
@@ -310,7 +351,13 @@ Result<AnalysisReport> PassivityAnalyzer::analyzeImpl(
   report.staircase = state.result.staircase;
   if (report.reorder.rejectedSwaps > 0)
     report.warnings.push_back(Warning::ReorderSwapRejected);
-  for (const StageTrace& t : report.stages) report.totalSeconds += t.seconds;
+  // Discarded speculative stages are execution records, not part of the
+  // canonical decision path's cost; keep totalSeconds mode-comparable.
+  for (const StageTrace& t : report.stages)
+    if (!t.discarded) report.totalSeconds += t.seconds;
+  obs::counterAdd(obs::Counter::AnalysesCompleted);
+  if (!report.passive) obs::counterAdd(obs::Counter::AnalysesNotPassive);
+  obs::gaugeAdd(obs::Gauge::AnalysesInFlight, -1);
   return Result<AnalysisReport>(std::move(report));
 }
 

@@ -18,6 +18,7 @@
 #include "ds/descriptor.hpp"
 #include "linalg/schur_multishift.hpp"
 #include "linalg/schur_reorder.hpp"
+#include "obs/telemetry.hpp"
 
 namespace shhpass::api {
 
@@ -74,7 +75,11 @@ struct AnalysisReport {
   std::vector<Warning> warnings;
 
   // Execution record.
-  std::vector<StageTrace> stages;  ///< One trace per executed stage.
+  /// One trace per executed stage, in canonical order. Stage-graph runs
+  /// that stopped early additionally append the speculative stages that
+  /// executed past the cutoff, marked StageTrace::discarded (excluded
+  /// from decisionEquals and totalSeconds).
+  std::vector<StageTrace> stages;
   double totalSeconds = 0.0;
   /// How the two-level scheduler ran this analysis (shard plan slot,
   /// kernel budget, steal/stage-graph records — api/scheduler.hpp).
@@ -115,6 +120,13 @@ struct AnalyzerOptions {
   /// graph path this way.
   bool stageGraph = false;
   std::size_t stageGraphThreads = 2;  ///< Pool width per stage graph.
+  /// Telemetry switches (span tracing, metrics registry, memory
+  /// accounting — src/obs/). Applied process-wide at analyzer
+  /// construction; the environment forces SHHPASS_TRACE=path and
+  /// SHHPASS_METRICS=1 (read once, first analyzer wins) turn telemetry
+  /// on regardless of these fields. Telemetry is observation only: it
+  /// can never change a decision (pinned by tests/test_obs.cpp).
+  obs::TelemetryOptions telemetry;
 };
 
 /// The engine facade. Thread-compatible: one analyzer may serve concurrent

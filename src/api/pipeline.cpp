@@ -1,12 +1,15 @@
 #include "api/pipeline.hpp"
 
-#include <chrono>
 #include <utility>
 
 #include "api/thread_pool.hpp"
 #include "control/pr_test.hpp"
 #include "core/phi_builder.hpp"
 #include "linalg/blas.hpp"
+#include "obs/clock.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace shhpass::api {
 namespace {
@@ -197,7 +200,6 @@ const Pipeline& standardPipeline() {
 
 Status Pipeline::run(PipelineState& state, std::vector<StageTrace>* traces,
                      const Observer& observer) const {
-  using Clock = std::chrono::steady_clock;
   state.result = core::PassivityResult{};
   if (state.input == nullptr)
     return Status::error(ErrorCode::InvalidArgument,
@@ -206,7 +208,8 @@ Status Pipeline::run(PipelineState& state, std::vector<StageTrace>* traces,
     StageTrace trace;
     trace.name = stage->name();
     bool threw = false;
-    const Clock::time_point t0 = Clock::now();
+    obs::MemScope mem;
+    const std::uint64_t t0 = obs::monotonicNowNs();
     try {
       trace.status = stage->run(state);
     } catch (...) {
@@ -217,7 +220,12 @@ Status Pipeline::run(PipelineState& state, std::vector<StageTrace>* traces,
     // diagnostics inline in run, so per-stage seconds keep covering the
     // same work). A throwing stage never commits: its slots may be torn.
     if (!threw) stage->commit(state);
-    trace.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    const std::uint64_t t1 = obs::monotonicNowNs();
+    trace.seconds = obs::nsToSeconds(t0, t1);
+    trace.peakBytes = mem.peakBytes();
+    obs::emitSpan(trace.name, "stage", t0, t1, obs::currentThreadTid());
+    obs::observeStageSeconds(trace.name, trace.seconds);
+    obs::counterAdd(obs::Counter::StagesExecuted);
     if (traces) traces->push_back(trace);
     if (observer) {
       try {
@@ -245,11 +253,11 @@ Status Pipeline::runGraph(PipelineState& state,
                           std::vector<StageTrace>* traces, ThreadPool& pool,
                           StageGraphReport* graph, const Observer& observer,
                           std::size_t gemmBudget) const {
-  using Clock = std::chrono::steady_clock;
   state.result = core::PassivityResult{};
   if (state.input == nullptr)
     return Status::error(ErrorCode::InvalidArgument,
                          "PipelineState::input is null");
+  obs::counterAdd(obs::Counter::StageGraphRuns);
   // Intra-stage fork/join needs a second worker to guarantee progress
   // (the forking stage blocks on its subtask's future).
   state.stagePool = pool.size() >= 2 ? &pool : nullptr;
@@ -257,28 +265,44 @@ Status Pipeline::runGraph(PipelineState& state,
   const std::size_t n = stages_.size();
   // Per-stage result slots, index-addressed so no ordering between
   // concurrently finishing stages matters. Declared before the graph so
-  // they outlive any in-flight node on early exit paths.
+  // they outlive any in-flight node on early exit paths. startNs/tid
+  // capture where/when each node ran: stage spans cannot be emitted from
+  // the node itself (whether a stage is speculative-discarded is only
+  // known at canonical assembly), so emission is deferred to the
+  // assembly loop below with these recorded stamps. An executed node is
+  // recognizable by a non-empty slot name (skipped nodes never run).
   std::vector<StageTrace> slot(n);
   std::vector<char> threw(n, 0);
+  std::vector<std::uint64_t> startNs(n, 0);
+  std::vector<std::uint64_t> endNs(n, 0);
+  std::vector<std::uint32_t> tid(n, 0);
   {
     TaskGraph g(&pool);
     for (std::size_t i = 0; i < n; ++i) {
       g.add(stages_[i]->name(),
-            [this, i, &state, &slot, &threw, gemmBudget] {
+            [this, i, &state, &slot, &threw, &startNs, &endNs, &tid,
+             gemmBudget] {
               // The kernel budget is thread-local; re-establish it on
               // this pool worker for the stage's gemm calls.
               linalg::GemmThreadBudgetScope budget(gemmBudget);
               StageTrace t;
               t.name = stages_[i]->name();
-              const Clock::time_point t0 = Clock::now();
+              obs::MemScope mem;
+              const std::uint64_t t0 = obs::monotonicNowNs();
               try {
                 t.status = stages_[i]->run(state);
               } catch (...) {
                 t.status = statusFromCurrentException();
                 threw[i] = 1;
               }
-              t.seconds =
-                  std::chrono::duration<double>(Clock::now() - t0).count();
+              const std::uint64_t t1 = obs::monotonicNowNs();
+              t.seconds = obs::nsToSeconds(t0, t1);
+              t.peakBytes = mem.peakBytes();
+              startNs[i] = t0;
+              endNs[i] = t1;
+              tid[i] = obs::currentThreadTid();
+              obs::observeStageSeconds(t.name, t.seconds);
+              obs::counterAdd(obs::Counter::StagesExecuted);
               slot[i] = std::move(t);
               // Fail the node on any non-ok status so the TaskGraph skip
               // cascade keeps dependents off unset state.
@@ -309,9 +333,12 @@ Status Pipeline::runGraph(PipelineState& state,
   // of earlier stages, all of which were ok. Commits are applied here, on
   // the calling thread, in canonical order, so result diagnostics merge
   // in the sequential order; speculative stages past the cutoff ran but
-  // are never committed nor reported.
+  // are never committed — they are accounted for afterwards as
+  // explicitly-marked discarded traces and spans.
   Status final = Status::okStatus();
+  std::size_t cutoff = n;
   for (std::size_t i = 0; i < n; ++i) {
+    obs::emitSpan(slot[i].name, "stage", startNs[i], endNs[i], tid[i]);
     if (traces) traces->push_back(slot[i]);
     if (observer) {
       try {
@@ -324,7 +351,25 @@ Status Pipeline::runGraph(PipelineState& state,
     if (!threw[i]) stages_[i]->commit(state);
     if (!slot[i].status.ok()) {
       final = slot[i].status;
+      cutoff = i + 1;
       break;
+    }
+  }
+  // Account for speculative work past the cutoff: nodes that executed
+  // (non-empty slot name; skipped nodes never ran their callable) but
+  // were never committed. They are appended to `traces` marked
+  // discarded, emitted as discarded spans, and counted — so a failing
+  // mid-graph run still explains every node the graph executed. The
+  // observer is NOT notified for them (its canonical notification order
+  // is part of the run()-parity contract).
+  for (std::size_t i = cutoff; i < n; ++i) {
+    if (slot[i].name.empty()) continue;
+    obs::emitSpan(slot[i].name, "stage", startNs[i], endNs[i], tid[i],
+                  /*discarded=*/true);
+    obs::counterAdd(obs::Counter::StagesDiscarded);
+    if (traces) {
+      slot[i].discarded = true;
+      traces->push_back(slot[i]);
     }
   }
   if (final.ok()) {

@@ -117,6 +117,16 @@ struct StageTrace {
   std::string name;
   Status status;
   double seconds = 0.0;
+  /// Peak live tracked bytes while the stage ran (obs/memory.hpp); 0
+  /// unless the memory accountant is enabled. Execution record only —
+  /// never part of decisionEquals.
+  std::size_t peakBytes = 0;
+  /// True for a speculative runGraph stage that executed past the
+  /// canonical cutoff and was never committed. Discarded traces are
+  /// appended AFTER the canonical (sequential-identical) trace list, in
+  /// stage-index order; excluded from decisionEquals and from observer
+  /// notifications.
+  bool discarded = false;
 };
 
 /// Execution record of one runGraph call (level-1 diagnostics threaded
@@ -187,7 +197,11 @@ class Pipeline {
   /// scheduling). Contract: decisions, diagnostics, traces (names and
   /// statuses), observer notification order, and the returned Status are
   /// bit-identical to run() for every pool size — only StageTrace::seconds
-  /// and `graph` (if non-null) reflect the concurrent execution. The
+  /// and `graph` (if non-null) reflect the concurrent execution. The one
+  /// deliberate trace addition: speculative stages that executed past the
+  /// canonical cutoff are appended to `traces` with discarded == true (in
+  /// stage-index order, after the canonical list) so telemetry accounts
+  /// for every node the graph actually ran; decisionEquals ignores them. The
   /// observer is still invoked on the calling thread, in canonical stage
   /// order, before runGraph returns. `gemmBudget` (0 = none) is
   /// re-established as the per-thread kernel budget inside every stage

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "linalg/blas.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace shhpass::api {
 
@@ -98,8 +100,18 @@ std::size_t runSharded(
         }
         if (shardIndex == plan.size()) return;  // drained everywhere
         steals.fetch_add(1, std::memory_order_relaxed);
+        obs::counterAdd(obs::Counter::ShardSteals);
       }
       const Shard& shard = plan[shardIndex];
+      // Stolen shards get their own span name so steal events are
+      // visible directly on the trace timeline.
+      obs::ObsSpan span(stolen          ? "shard:stolen"
+                        : shard.large   ? "shard:large"
+                                        : "shard:small",
+                        "scheduler");
+      span.arg("items", static_cast<std::int64_t>(shard.items.size()));
+      obs::counterAdd(obs::Counter::ShardsRun);
+      obs::counterAdd(obs::Counter::BatchItems, shard.items.size());
       // The shard's kernel budget is in force for every item it runs.
       linalg::GemmThreadBudgetScope budget(shard.gemmBudget);
       for (std::size_t item : shard.items) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <utility>
+
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
 
 namespace shhpass::api {
 
@@ -62,7 +64,14 @@ void ThreadPool::workerLoop() {
     jobsExecuted_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (err && !firstError_) firstError_ = err;
+      // Release this thread's reference before the error is published:
+      // once wait() can rethrow it, the last reference to the exception
+      // object must not be dropped from a worker (the refcount lives in
+      // uninstrumented libstdc++, so TSan would flag the late free).
+      if (err) {
+        if (!firstError_) firstError_ = std::move(err);
+        err = nullptr;
+      }
       --inFlight_;
       if (queue_.empty() && inFlight_ == 0) allDone_.notify_all();
     }
@@ -143,27 +152,31 @@ void TaskGraph::execute(NodeId id) {
     std::lock_guard<std::mutex> lock(mu_);
     nodes_[id].state = NodeState::Running;
   }
-  using Clock = std::chrono::steady_clock;
-  const Clock::time_point t0 = Clock::now();
+  const std::uint64_t t0 = obs::monotonicNowNs();
   std::exception_ptr err;
   try {
     nodes_[id].fn();
   } catch (...) {
     err = std::current_exception();
   }
-  const double seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
-  finish(id, err ? NodeState::Failed : NodeState::Done, err, seconds);
+  const std::uint64_t t1 = obs::monotonicNowNs();
+  // Node names are stable for the graph's lifetime; the span copies it.
+  obs::emitSpan(nodes_[id].name, "graph", t0, t1, obs::currentThreadTid());
+  // Hand the exception reference to finish() so this worker holds
+  // nothing once the error is observable through wait().
+  const NodeState terminal = err ? NodeState::Failed : NodeState::Done;
+  finish(id, terminal, std::move(err), obs::nsToSeconds(t0, t1));
 }
 
 void TaskGraph::finish(NodeId id, NodeState terminal, std::exception_ptr err,
                        double seconds) {
   std::vector<NodeId> newlyReady;
+  ThreadPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Node& node = nodes_[id];
     node.state = terminal;
-    node.error = err;
+    node.error = std::move(err);
     node.seconds = seconds;
     ++terminal_;
     if (terminal == NodeState::Done) {
@@ -176,10 +189,16 @@ void TaskGraph::finish(NodeId id, NodeState terminal, std::exception_ptr err,
       skipDependentsLocked(id, &newlyReady);
     }
     if (terminal_ == nodes_.size()) allTerminal_.notify_all();
+    // Snapshot pool_ while the graph is pinned alive: once the notify
+    // above publishes the final terminal_ count, the destructor may
+    // return and `this` may be gone. If newlyReady is non-empty this
+    // node was NOT the last terminal one, so the graph outlives the
+    // submits below; only the member read itself must happen here.
+    pool = pool_;
   }
-  if (pool_ != nullptr)
+  if (pool != nullptr)
     for (NodeId ready : newlyReady)
-      pool_->submit([this, ready] { execute(ready); });
+      pool->submit([this, ready] { execute(ready); });
 }
 
 // Pre: mu_ held. Marks every Pending dependent of a failed/skipped node

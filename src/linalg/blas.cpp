@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #include <immintrin.h>
 #endif
@@ -485,10 +488,19 @@ void gemm(double alpha, const Matrix& a, bool transA, const Matrix& b,
           bool transB, double beta, Matrix& c) {
   std::size_t m, n, k;
   checkGemmShapes(a, transA, b, transB, c, m, n, k);
+  const std::size_t flopProducts = m * n * k;
+  obs::counterAdd(obs::Counter::GemmCalls);
+  obs::counterAdd(obs::Counter::GemmFlops, 2 * flopProducts);
+  // Spans only for products big enough to thread: per-call tracing of the
+  // thousands of tiny products would swamp the buffers and the timeline
+  // (the sampling-friendly coarse-granularity contract of obs/trace.hpp).
+  obs::ObsSpan span("gemm", "kernel",
+                    flopProducts >= kGemmThreadedFlopFloor);
+  span.arg("flops", static_cast<std::int64_t>(2 * flopProducts));
   // Thin or tiny products do not amortize the packing cost; the reference
   // kernel is also the better gemv/ger. The dispatch is performance-only:
   // both kernels implement the same contract.
-  if (m < MR || n < NR || k < 4 || m * n * k < kGemmBlockedFlopFloor) {
+  if (m < MR || n < NR || k < 4 || flopProducts < kGemmBlockedFlopFloor) {
     gemmReference(alpha, a, transA, b, transB, beta, c);
     return;
   }

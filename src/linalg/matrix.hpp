@@ -10,6 +10,8 @@
 #include <iosfwd>
 #include <vector>
 
+#include "obs/alloc.hpp"
+
 namespace shhpass::linalg {
 
 /// Dense real (double) matrix, row-major.
@@ -102,7 +104,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  /// Storage goes through the obs counting allocator so per-stage peak
+  /// bytes in AnalysisReport reflect the numeric working set.
+  std::vector<double, obs::CountingAllocator<double>> data_;
 };
 
 /// Horizontal concatenation [a b] (row counts must match; empty args allowed).

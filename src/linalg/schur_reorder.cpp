@@ -10,6 +10,7 @@
 #include "linalg/householder.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/schur.hpp"
+#include "obs/metrics.hpp"
 
 namespace shhpass::linalg {
 namespace {
@@ -441,6 +442,7 @@ bool swapAdjacentBlocksImpl(Matrix& t, Matrix& q, std::size_t j,
   double x[4];
   if (!smallSylvester(win, w, p, qsz, x)) {
     if (report) ++report->rejectedSwaps;
+    obs::counterAdd(obs::Counter::ReorderRejectedSwaps);
     return false;
   }
   double stack[8];
@@ -492,6 +494,7 @@ bool swapAdjacentBlocksImpl(Matrix& t, Matrix& q, std::size_t j,
     const double globalThresh = std::max(20.0 * eps * t.maxAbs(), smlnum);
     if (residual > globalThresh) {
       if (report) ++report->rejectedSwaps;
+      obs::counterAdd(obs::Counter::ReorderRejectedSwaps);
       return false;
     }
   }

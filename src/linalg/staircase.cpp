@@ -8,6 +8,8 @@
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
 #include "linalg/qr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace shhpass::linalg {
 
@@ -472,6 +474,11 @@ Compression compress(const Matrix& m, const CompressionOptions& opts,
                      RankReport* rankReport, StaircaseReport* stairReport) {
   CompressionKernel k = opts.kernel;
   const std::size_t rows = m.rows(), cols = m.cols();
+  obs::counterAdd(obs::Counter::StaircaseCompressions);
+  obs::ObsSpan span("staircase-compress", "kernel",
+                    std::min(rows, cols) >= 64);
+  span.arg("minDim",
+           static_cast<std::int64_t>(std::min(rows, cols)));
   Compression c;
   if (rows == 0 || cols == 0) {
     c = compressEmpty(m, opts, rankReport);

@@ -1,0 +1,44 @@
+// Counting allocator: a std::allocator shim that reports every
+// allocate/deallocate to the obs memory accountant (obs/memory.hpp).
+// linalg::Matrix storage and the kernel workspaces use it so per-stage
+// peak bytes in AnalysisReport reflect actual numeric working sets.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "obs/memory.hpp"
+
+namespace shhpass::obs {
+
+template <class T>
+class CountingAllocator {
+ public:
+  using value_type = T;
+
+  CountingAllocator() noexcept = default;
+  template <class U>
+  CountingAllocator(const CountingAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    T* p = std::allocator<T>().allocate(n);
+    memAcquire(n * sizeof(T));
+    return p;
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    memRelease(n * sizeof(T));
+    std::allocator<T>().deallocate(p, n);
+  }
+
+  friend bool operator==(const CountingAllocator&,
+                         const CountingAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const CountingAllocator&,
+                         const CountingAllocator&) noexcept {
+    return false;
+  }
+};
+
+}  // namespace shhpass::obs

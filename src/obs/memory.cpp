@@ -1,0 +1,108 @@
+#include "obs/memory.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace shhpass::obs {
+namespace {
+
+std::atomic<bool> gMemoryEnabled{false};
+std::atomic<long long> gLiveBytes{0};
+std::atomic<long long> gPeakBytes{0};
+
+}  // namespace
+
+struct MemScopeNode {
+  long long peak = 0;  ///< Guarded by the scope-registry mutex.
+};
+
+namespace {
+
+/// Active high-water-mark windows. Walked under the mutex on every
+/// allocation while accounting is enabled; stage-level windows mean the
+/// list holds a handful of entries at most.
+struct ScopeRegistry {
+  std::mutex mu;
+  std::vector<MemScopeNode*> active;
+};
+
+ScopeRegistry& scopes() {
+  static ScopeRegistry* kScopes = new ScopeRegistry();  // never destroyed
+  return *kScopes;
+}
+
+void recordHighWater(long long live) {
+  long long peak = gPeakBytes.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !gPeakBytes.compare_exchange_weak(peak, live,
+                                           std::memory_order_relaxed)) {
+  }
+  ScopeRegistry& reg = scopes();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (MemScopeNode* node : reg.active)
+    node->peak = std::max(node->peak, live);
+}
+
+}  // namespace
+
+bool memoryEnabled() {
+  return gMemoryEnabled.load(std::memory_order_relaxed);
+}
+
+void setMemoryEnabled(bool enabled) {
+  gMemoryEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+void memAcquire(std::size_t bytes) {
+  const long long live =
+      gLiveBytes.fetch_add(static_cast<long long>(bytes),
+                           std::memory_order_relaxed) +
+      static_cast<long long>(bytes);
+  if (memoryEnabled()) recordHighWater(live);
+}
+
+void memRelease(std::size_t bytes) {
+  gLiveBytes.fetch_sub(static_cast<long long>(bytes),
+                       std::memory_order_relaxed);
+}
+
+std::size_t memLiveBytes() {
+  const long long live = gLiveBytes.load(std::memory_order_relaxed);
+  return live > 0 ? static_cast<std::size_t>(live) : 0;
+}
+
+std::size_t memPeakBytes() {
+  const long long peak = gPeakBytes.load(std::memory_order_relaxed);
+  return peak > 0 ? static_cast<std::size_t>(peak) : 0;
+}
+
+MemScope::MemScope() {
+  if (!memoryEnabled()) return;
+  node_ = new MemScopeNode();
+  node_->peak = std::max(gLiveBytes.load(std::memory_order_relaxed), 0ll);
+  ScopeRegistry& reg = scopes();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.active.push_back(node_);
+}
+
+MemScope::~MemScope() {
+  if (node_ == nullptr) return;
+  ScopeRegistry& reg = scopes();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.active.erase(std::remove(reg.active.begin(), reg.active.end(), node_),
+                     reg.active.end());
+  }
+  delete node_;
+}
+
+std::size_t MemScope::peakBytes() const {
+  if (node_ == nullptr) return 0;
+  ScopeRegistry& reg = scopes();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return node_->peak > 0 ? static_cast<std::size_t>(node_->peak) : 0;
+}
+
+}  // namespace shhpass::obs

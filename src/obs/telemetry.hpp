@@ -1,0 +1,32 @@
+// Telemetry front door: one call that applies the process-wide env
+// forces and a TelemetryOptions knob the analyzer threads through from
+// AnalyzerOptions. Environment always wins over per-analyzer options so
+// a deployment can force a trace out of an unmodified binary:
+//
+//   SHHPASS_TRACE=/tmp/run.trace.json   enable tracing; write Chrome
+//                                       trace JSON to the path at exit
+//   SHHPASS_METRICS=1                   enable the metrics registry and
+//                                       the memory accountant ("0" or
+//                                       unset leaves them off)
+#pragma once
+
+#include <string>
+
+namespace shhpass::obs {
+
+/// Per-analyzer telemetry knobs (api::AnalyzerOptions::telemetry).
+struct TelemetryOptions {
+  bool trace = false;      ///< Enable span tracing process-wide.
+  std::string tracePath;   ///< If non-empty, write trace JSON at exit.
+  bool metrics = false;    ///< Enable metrics + memory accounting.
+};
+
+/// Read SHHPASS_TRACE / SHHPASS_METRICS once (std::call_once) and apply
+/// them. Safe to call from every PassivityAnalyzer construction.
+void initTelemetryFromEnv();
+
+/// Apply per-analyzer options on top of the env forces (a set flag turns
+/// telemetry on; options never turn OFF what the environment forced).
+void applyTelemetryOptions(const TelemetryOptions& options);
+
+}  // namespace shhpass::obs

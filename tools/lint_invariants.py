@@ -66,6 +66,14 @@ tsan-supp-clean
     suppression matching src/, tests/, or a shhpass symbol hides a real
     race instead of a third-party false positive.
 
+no-raw-clock
+    Direct std::chrono::*_clock::now() calls are banned in src/ outside
+    src/obs/ (the telemetry layer owns the clock). Scattered clock reads
+    produce timelines with mismatched epochs that cannot be correlated
+    with the span tracer; route every measurement through
+    obs::monotonicNowNs() (src/obs/clock.hpp). bench/, tests/, and
+    examples/ are out of scope. Waivable with `lint-ok: no-raw-clock`.
+
 Waivers: append `lint-ok: <rule-id>` in a comment on the offending line
 to waive a line-based rule (use sparingly; the waiver itself is visible
 in review).
@@ -93,6 +101,7 @@ RULE_IDS = (
     "no-reinterpret-cast",
     "rank-tol-literal",
     "tsan-supp-clean",
+    "no-raw-clock",
 )
 
 
@@ -220,6 +229,8 @@ RANK_TOL_LITERAL_RE = re.compile(
 # Namespace-scope kernel declarations: an unindented declarator line whose
 # function name carries one of the kernel suffixes. Class members are
 # indented and therefore ignored.
+RAW_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*\w*_clock\s*::\s*now\s*\(")
 KERNEL_DECL_RE = re.compile(
     r"^[A-Za-z_][\w:<>,&*\s]*?\b([A-Za-z_]\w*?)(Blocked|Unblocked|Reference)"
     r"\s*\(",
@@ -270,6 +281,20 @@ def check_no_reinterpret_cast(root: str) -> List[Finding]:
             "reinterpret_cast banned in src/linalg outside vetted SIMD "
             "micro-kernels (waive with `lint-ok: no-reinterpret-cast` "
             "comment `lint-ok: simd-microkernel` only inside one)")
+    return findings
+
+
+def check_no_raw_clock(root: str) -> List[Finding]:
+    findings = []
+    for path in _cpp_files(root, ("src",)):
+        rel = _rel(root, path)
+        if rel.startswith("src/obs/"):
+            continue  # the telemetry layer owns the sanctioned clock site
+        findings += _line_findings(
+            root, path, "no-raw-clock", RAW_CLOCK_RE,
+            "direct std::chrono clock read in src/ outside src/obs/: "
+            "mismatched epochs cannot be correlated with the span "
+            "tracer; use obs::monotonicNowNs() (src/obs/clock.hpp)")
     return findings
 
 
@@ -370,6 +395,7 @@ CHECKS = (
     check_no_reinterpret_cast,
     check_rank_tol_literal,
     check_tsan_supp_clean,
+    check_no_raw_clock,
 )
 
 

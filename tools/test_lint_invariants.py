@@ -113,6 +113,24 @@ std::size_t rank(const Matrix& a, double tol = -1.0);
 std::size_t r = rank(a, 1e-12);  // policy implementation: exempt
 """)
 
+    # no-raw-clock: a direct clock read in src/ fires; the same call in
+    # src/obs/ (the sanctioned site), in bench/, a comment mention, and a
+    # waived line all stay clean.
+    planted["no-raw-clock"] = (write(root, "src/core/bad_clock.cpp", """
+#include <chrono>
+// std::chrono::steady_clock::now() in a comment is fine
+auto w = std::chrono::steady_clock::now();  // lint-ok: no-raw-clock
+auto bad = std::chrono::high_resolution_clock::now();
+"""), 5)
+    write(root, "src/obs/clock.cpp", """
+#include <chrono>
+auto t = std::chrono::steady_clock::now();  // the sanctioned site
+""")
+    write(root, "bench/bench_timing.cpp", """
+#include <chrono>
+auto t0 = std::chrono::steady_clock::now();  // bench/ is out of scope
+""")
+
     # tsan-supp-clean: a project-owned suppression fires; comments and a
     # third-party suppression do not.
     planted["tsan-supp-clean"] = (write(root, "tools/tsan.supp", """\

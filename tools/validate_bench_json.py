@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Validate a BENCH_pipeline.json file against the documented schema.
 
-Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 6: version 5
+Schema: docs/BENCHMARKS.md (shhpass-bench-pipeline, version 7: version 6
 — the staircase deflation-chain health/kernel rows with the >= 1.5x
-SVD-chain speedup floor at order 256, and the batchThroughput object
-from the two-level scheduler (decisionMismatches exactly 0; speedup
-floor 2.0x when the recording machine had >= 8 hardware threads) — plus
-the sweepThroughput object from the parametric-sweep workload: points
-per second of a decade sweep re-stamped through MnaWorkspace and fanned
-through the shard scheduler, with decisionMismatches again required to
-be exactly 0). Stdlib only — CI runs this after the bench smoke job
-with no pip installs.
+SVD-chain speedup floor at order 256, the batchThroughput object from
+the two-level scheduler (decisionMismatches exactly 0; speedup floor
+2.0x when the recording machine had >= 8 hardware threads), and the
+sweepThroughput object from the parametric-sweep workload
+(decisionMismatches again exactly 0) — plus the telemetry surface: every
+pipeline stage row carries 'peakBytes' from the memory accountant, and
+the observerOverhead object times one analysis at the top ladder order
+with all telemetry dark vs forced on; overheadPct must stay below 3% at
+order >= 400 (the ISSUE-10 acceptance ceiling) with only a loose sanity
+ceiling on short smoke runs). Stdlib only — CI runs this after the
+bench smoke job with no pip installs.
 
 Usage: validate_bench_json.py PATH [--expect-order N]...
 Exit status 0 when the file conforms, 1 with a diagnostic otherwise.
@@ -70,7 +73,7 @@ def main():
 
     require(doc.get("schema") == "shhpass-bench-pipeline",
             f"schema must be 'shhpass-bench-pipeline', got {doc.get('schema')!r}")
-    require(doc.get("schemaVersion") == 6,
+    require(doc.get("schemaVersion") == 7,
             f"unsupported schemaVersion {doc.get('schemaVersion')!r}")
     require(doc.get("timeUnit") == "seconds",
             f"timeUnit must be 'seconds', got {doc.get('timeUnit')!r}")
@@ -95,6 +98,7 @@ def main():
         require(isinstance(stages, list) and stages,
                 f"{ctx}: 'stages' must be a non-empty array")
         stage_sum = 0.0
+        peak_max = 0
         names = []
         for j, stage in enumerate(stages):
             sctx = f"{ctx}.stages[{j}]"
@@ -103,9 +107,16 @@ def main():
                     f"{sctx}: 'name' must be a non-empty string")
             names.append(stage["name"])
             stage_sum += check_number(stage, "seconds", sctx, minimum=0.0)
+            peak_max = max(peak_max,
+                           check_number(stage, "peakBytes", sctx, minimum=0))
         require(names == PIPELINE_STAGES[: len(names)],
                 f"{ctx}: stage names {names} do not follow the Fig.-1 "
                 f"pipeline order {PIPELINE_STAGES}")
+        # Memory accounting is on for the pipeline rows: at least one
+        # stage of every row must have seen a live Matrix allocation.
+        require(peak_max > 0,
+                f"{ctx}: every stage has peakBytes == 0 — the memory "
+                f"accountant was off during the pipeline rows")
         require(abs(stage_sum - total) <= 0.05 * max(total, 1e-9) + 1e-6,
                 f"{ctx}: stage seconds sum {stage_sum} != totalSeconds {total}")
         reorder = row.get("reorder")
@@ -263,10 +274,33 @@ def main():
                 f"sweep scheduling overhead is pathological even for "
                 f"{int(sweep_hw)} thread(s)")
 
+    # -------------------------------------------- observerOverhead (v7)
+    oo = doc.get("observerOverhead")
+    require(isinstance(oo, dict), "missing 'observerOverhead' object")
+    oo_order = check_number(oo, "order", "observerOverhead", minimum=1)
+    require(oo_order in seen_orders,
+            f"observerOverhead.order = {int(oo_order)} has no pipeline row")
+    check_number(oo, "darkSeconds", "observerOverhead", minimum=0.0)
+    check_number(oo, "telemetrySeconds", "observerOverhead", minimum=0.0)
+    require("overheadPct" in oo and isinstance(oo["overheadPct"],
+                                               (int, float)),
+            "observerOverhead: missing numeric 'overheadPct'")
+    overhead = oo["overheadPct"]
+    # The ISSUE-10 acceptance ceiling: full telemetry (span tracing +
+    # metrics + memory accounting) must cost < 3% of an order-400+
+    # analysis. Short smoke runs (order 100 takes ~10 ms) cannot resolve
+    # a 3% delta above timer noise, so they only get a sanity ceiling
+    # that still catches a pathological observer.
+    ceiling = 3.0 if oo_order >= 400 else 25.0
+    require(overhead <= ceiling,
+            f"observerOverhead.overheadPct = {overhead:.2f} > {ceiling} "
+            f"at order {int(oo_order)} — telemetry is not near-free")
+
     print(f"validate_bench_json: OK: {args.path} "
           f"({len(pipeline)} pipeline rows, {len(kernels)} kernel rows, "
           f"batch speedup {speedup:.2f}x, sweep {int(points)} points "
-          f"{sweep_speedup:.2f}x @ {int(hw)} hw threads)")
+          f"{sweep_speedup:.2f}x @ {int(hw)} hw threads, observer "
+          f"overhead {overhead:.2f}% @ order {int(oo_order)})")
 
 
 if __name__ == "__main__":
